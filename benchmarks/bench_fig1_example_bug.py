@@ -1,0 +1,54 @@
+"""Figure 1 — the example crash-consistency bug.
+
+The btrfs unlink/link combination that makes the file system un-mountable:
+``creat foo; link foo bar; sync; unlink bar; creat bar; fsync bar; CRASH``.
+"""
+
+from repro.fs import BugConfig, Consequence
+
+from conftest import print_table, run_text
+
+FIGURE1 = """
+creat foo
+link foo bar
+sync
+unlink bar
+creat bar
+fsync bar
+"""
+
+
+def test_figure1_bug_makes_the_filesystem_unmountable(benchmark):
+    result = benchmark(run_text, "btrfs", FIGURE1, None, "figure-1")
+    print_table(
+        "Figure 1: btrfs unlink/link log-replay bug",
+        [("paper", "file system becomes un-mountable"),
+         ("measured", ", ".join(result.consequences()) or "no bug found")],
+        ("source", "outcome"),
+    )
+    assert not result.passed
+    assert result.consequences() == (Consequence.UNMOUNTABLE,)
+    report = result.bug_reports[0]
+    assert report.checkpoint_id == 2  # the crash right after the final fsync
+    assert "fsck" in report.mismatches[0].actual
+
+
+def test_figure1_patched_filesystem_recovers(benchmark):
+    result = benchmark(run_text, "btrfs", FIGURE1, BugConfig.none(), "figure-1")
+    assert result.passed
+
+
+def test_figure1_crash_after_sync_is_always_consistent(benchmark):
+    """Crashing right after the sync (the first persistence point) is fine
+    even on the buggy file system — the bug needs the later fsync."""
+
+    def run():
+        from conftest import make_harness
+        from repro.workload import parse_workload
+
+        harness = make_harness("btrfs")
+        result = harness.test_workload(parse_workload(FIGURE1, name="figure-1"))
+        return [report.checkpoint_id for report in result.bug_reports]
+
+    failing_checkpoints = benchmark(run)
+    assert failing_checkpoints == [2]

@@ -1,0 +1,61 @@
+"""Figure 5 — post-processing of bug reports.
+
+A single underlying bug makes many workloads fail; grouping reports by
+skeleton and consequence (and filtering against the known-bug database)
+collapses them to a handful of reports to inspect.  This benchmark runs a
+sampled seq-2 campaign against the buggy btrfs-like file system and measures
+the reduction.
+"""
+
+from repro.ace import seq2_bounds
+from repro.core import B3Campaign, CampaignConfig, KnownBugDatabase, known_bugs
+
+from conftest import BENCH_DEVICE_BLOCKS, print_table
+
+
+def _campaign_reports():
+    config = CampaignConfig(
+        fs_name="btrfs",
+        bounds=seq2_bounds(),
+        max_workloads=250,
+        sample=True,
+        device_blocks=BENCH_DEVICE_BLOCKS,
+        only_last_checkpoint=True,
+    )
+    return B3Campaign(config).run()
+
+
+def test_fig5_grouping_reduces_reports(benchmark):
+    result = benchmark.pedantic(_campaign_reports, iterations=1, rounds=1)
+    raw_reports = result.all_reports()
+    groups = result.grouped_reports()
+    filtered = result.unique_reports(KnownBugDatabase.from_known_bugs(known_bugs()))
+
+    print_table(
+        "Figure 5: post-processing of bug reports (sampled seq-2 campaign)",
+        [
+            ("workloads tested", result.workloads_tested),
+            ("failing workloads", result.failing_workloads),
+            ("raw bug reports", len(raw_reports)),
+            ("after GROUP BY skeleton+consequence", len(groups)),
+            ("after filtering against the known-bug database", len(filtered)),
+        ],
+        ("stage", "count"),
+    )
+
+    assert raw_reports, "the buggy file system must produce reports"
+    assert len(groups) < len(raw_reports), "grouping must reduce the report count"
+    assert len(filtered) <= len(groups)
+
+
+def test_fig5_groups_have_consistent_keys(benchmark):
+    result = _campaign_reports()
+
+    def group():
+        return result.grouped_reports()
+
+    groups = benchmark(group)
+    for group_entry in groups:
+        for report in group_entry.reports:
+            assert report.workload.skeleton() == group_entry.skeleton
+            assert report.consequence == group_entry.consequence

@@ -1,0 +1,79 @@
+"""§6.3 — CrashMonkey performance.
+
+End-to-end latency per workload and its breakdown.  The paper measures 4.6 s
+per workload, dominated by mandatory kernel delays; the simulator's latencies
+are milliseconds, so the reproduced claims are the relative ones: crash-state
+construction and checking are small, constant costs compared to profiling.
+"""
+
+import statistics
+
+from repro.ace import AceSynthesizer, seq1_bounds, seq2_bounds
+
+from conftest import make_harness, print_table
+
+
+def _latencies(fs_name, workloads):
+    harness = make_harness(fs_name)
+    results = [harness.test_workload(workload) for workload in workloads]
+    return results
+
+
+def test_sec63_end_to_end_latency(benchmark):
+    workloads = AceSynthesizer(seq2_bounds()).sample(25)
+    results = benchmark.pedantic(_latencies, args=("btrfs", workloads), iterations=1, rounds=1)
+    totals = [result.total_seconds for result in results]
+    print_table(
+        "§6.3: end-to-end latency per workload",
+        [
+            ("mean", "4.6 s", f"{statistics.mean(totals) * 1000:.2f} ms"),
+            ("median", "-", f"{statistics.median(totals) * 1000:.2f} ms"),
+            ("max", "-", f"{max(totals) * 1000:.2f} ms"),
+        ],
+        ("statistic", "paper (kernel)", "measured (simulator)"),
+    )
+    assert statistics.mean(totals) < 1.0  # well under a second per workload
+
+
+def test_sec63_crash_state_and_check_costs_are_small(benchmark):
+    workloads = AceSynthesizer(seq2_bounds()).sample(25)
+    results = benchmark.pedantic(_latencies, args=("btrfs", workloads), iterations=1, rounds=1)
+    replay = statistics.mean(result.replay_seconds / max(result.checkpoints_tested, 1)
+                             for result in results)
+    check = statistics.mean(result.check_seconds / max(result.checkpoints_tested, 1)
+                            for result in results)
+    profile = statistics.mean(result.profile_seconds for result in results)
+    print_table(
+        "§6.3: per-crash-state costs",
+        [
+            ("construct one crash state", "20 ms", f"{replay * 1000:.3f} ms"),
+            ("run read+write checks", "20 ms", f"{check * 1000:.3f} ms"),
+            ("profile the workload", "~3.9 s", f"{profile * 1000:.3f} ms"),
+        ],
+        ("operation", "paper", "measured"),
+    )
+    # Shape: both are small compared to profiling the workload.
+    assert replay < profile
+    assert check < profile
+
+
+def test_sec63_latency_scales_with_persistence_points(benchmark):
+    """More persistence points means more crash states to build and check."""
+    seq1 = AceSynthesizer(seq1_bounds()).sample(20)
+    seq2 = AceSynthesizer(seq2_bounds()).sample(20)
+
+    def measure():
+        one = _latencies("btrfs", seq1)
+        two = _latencies("btrfs", seq2)
+        return (
+            statistics.mean(result.checkpoints_tested for result in one),
+            statistics.mean(result.checkpoints_tested for result in two),
+        )
+
+    checkpoints_seq1, checkpoints_seq2 = benchmark.pedantic(measure, iterations=1, rounds=1)
+    print_table(
+        "Crash points per workload",
+        [("seq-1", f"{checkpoints_seq1:.2f}"), ("seq-2", f"{checkpoints_seq2:.2f}")],
+        ("workload set", "mean crash points"),
+    )
+    assert checkpoints_seq2 >= checkpoints_seq1

@@ -1,0 +1,71 @@
+"""§6.4 — ACE performance.
+
+The paper generates 3.37M workloads in 374 minutes (~150 workloads/second)
+and spends another ~237 minutes deploying them to the cluster.  This benchmark
+measures the synthesizer's generation rate and reproduces the deployment-time
+model.
+"""
+
+from repro.ace import AceSynthesizer, seq2_bounds
+from repro.cluster import ClusterSpec, estimate_deployment, partition
+
+from conftest import print_table
+
+GENERATION_BATCH = 4000
+
+
+def test_sec64_generation_rate(benchmark):
+    def generate_batch():
+        synthesizer = AceSynthesizer(seq2_bounds())
+        return list(synthesizer.generate(limit=GENERATION_BATCH))
+
+    workloads = benchmark(generate_batch)
+    seconds = benchmark.stats.stats.mean
+    rate = len(workloads) / seconds
+    print_table(
+        "§6.4: ACE workload generation",
+        [
+            ("workloads generated per second", "~150 /s", f"{rate:,.0f} /s"),
+            ("time for the full 3.37M set", "374 min", f"{3_370_000 / rate / 60:.1f} min"),
+        ],
+        ("quantity", "paper", "measured / projected"),
+    )
+    assert len(workloads) == GENERATION_BATCH
+    # The pure-Python generator must at least match the paper's rate.
+    assert rate > 150
+
+
+def test_sec64_generation_is_a_one_time_cost(benchmark):
+    """Generated workloads can be reused for every target file system."""
+
+    def generate_twice():
+        first = AceSynthesizer(seq2_bounds()).sample(200)
+        second = AceSynthesizer(seq2_bounds()).sample(200)
+        return first, second
+
+    first, second = benchmark(generate_twice)
+    assert [w.workload_id() for w in first] == [w.workload_id() for w in second]
+
+
+def test_sec64_deployment_model(benchmark):
+    spec = ClusterSpec()
+
+    def model():
+        estimate = estimate_deployment(3_370_000, spec)
+        workloads = AceSynthesizer(seq2_bounds()).sample(780)
+        batches = partition(workloads, spec.total_vms)
+        return estimate, batches
+
+    estimate, batches = benchmark(model)
+    print_table(
+        "§6.4: deployment to the 780-VM cluster (modelled)",
+        [
+            ("group workloads by VM", "34 min", f"{estimate.grouping_seconds / 60:.1f} min"),
+            ("copy to Chameleon nodes", "199 min", f"{estimate.node_copy_seconds / 60:.1f} min"),
+            ("copy to VMs", "4 min", f"{estimate.vm_copy_seconds / 60:.1f} min"),
+            ("total", "237 min", f"{estimate.total_seconds / 60:.1f} min"),
+        ],
+        ("step", "paper", "model"),
+    )
+    assert 200 * 60 <= estimate.total_seconds <= 260 * 60
+    assert len(batches) == len([batch for batch in batches if batch])

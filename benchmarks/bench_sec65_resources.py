@@ -1,0 +1,85 @@
+"""§6.5 — resource consumption.
+
+The paper reports ~20 MB average memory consumption per CrashMonkey instance
+(thanks to the copy-on-write wrapper device only holding modified pages),
+~480 KB of persistent storage per workload, and negligible CPU.  The
+simulator's analogue of the memory figure is the size of the copy-on-write
+overlays (workload run + crash states); the storage figure corresponds to the
+recorded I/O plus the serialized workload.
+"""
+
+import statistics
+
+from repro.ace import AceSynthesizer, seq1_bounds, seq2_bounds
+from repro.crashmonkey import WorkloadRecorder
+from repro.storage import BLOCK_SIZE
+
+from conftest import BENCH_DEVICE_BLOCKS, make_harness, print_table
+
+
+def test_sec65_memory_overhead_is_copy_on_write(benchmark):
+    """Memory grows with the data the workload modifies, not with device size."""
+    workloads = AceSynthesizer(seq2_bounds()).sample(30)
+    harness = make_harness("btrfs", only_last_checkpoint=True)
+
+    def measure():
+        return [harness.test_workload(workload) for workload in workloads]
+
+    results = benchmark.pedantic(measure, iterations=1, rounds=1)
+    overlay = [result.crash_state_overlay_bytes for result in results]
+    device_bytes = BENCH_DEVICE_BLOCKS * BLOCK_SIZE
+    mean_overlay = statistics.mean(overlay)
+
+    print_table(
+        "§6.5: memory consumption per workload",
+        [
+            ("mean crash-state overlay", "20.12 MB total footprint", f"{mean_overlay / 1024:.1f} KB"),
+            ("max crash-state overlay", "-", f"{max(overlay) / 1024:.1f} KB"),
+            ("device size (for comparison)", "10 GB VM disk", f"{device_bytes / 1024 / 1024:.0f} MB"),
+        ],
+        ("quantity", "paper", "measured"),
+    )
+    # Copy-on-write: the overlays are a tiny fraction of the device size.
+    assert mean_overlay < device_bytes / 20
+
+
+def test_sec65_storage_per_workload(benchmark):
+    workloads = AceSynthesizer(seq1_bounds()).sample(40)
+    recorder = WorkloadRecorder("btrfs", device_blocks=BENCH_DEVICE_BLOCKS)
+
+    def measure():
+        profiles = [recorder.profile(workload) for workload in workloads]
+        return profiles
+
+    profiles = benchmark.pedantic(measure, iterations=1, rounds=1)
+    recorded = [profile.recorded_bytes for profile in profiles]
+    workload_text = [len(str(workload.to_json())) for workload in workloads]
+
+    print_table(
+        "§6.5: per-workload storage",
+        [
+            ("serialized workload", "480 KB (generated C++ test)", f"{statistics.mean(workload_text):.0f} B"),
+            ("recorded block I/O", "-", f"{statistics.mean(recorded) / 1024:.1f} KB"),
+        ],
+        ("quantity", "paper", "measured"),
+    )
+    assert statistics.mean(recorded) > 0
+    # Small workloads modify little data, so the recorded I/O stays small.
+    assert statistics.mean(recorded) < 5 * 1024 * 1024
+
+
+def test_sec65_recorded_requests_scale_with_persistence_points(benchmark):
+    recorder = WorkloadRecorder("btrfs", device_blocks=BENCH_DEVICE_BLOCKS)
+    from repro.workload import parse_workload
+
+    one = parse_workload("creat foo\nwrite foo 0 8192\nfsync foo")
+    three = parse_workload(
+        "creat foo\nwrite foo 0 8192\nfsync foo\nwrite foo 8192 8192\nfsync foo\nlink foo bar\nfsync bar"
+    )
+
+    def measure():
+        return recorder.profile(one), recorder.profile(three)
+
+    profile_one, profile_three = benchmark(measure)
+    assert profile_three.recorded_bytes > profile_one.recorded_bytes
+    assert profile_three.num_checkpoints > profile_one.num_checkpoints

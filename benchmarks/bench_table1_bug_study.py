@@ -1,0 +1,61 @@
+"""Table 1 — the crash-consistency bug study.
+
+Regenerates the four breakdowns of the 26 studied bugs (consequence, kernel
+version, file system, number of operations) and checks they match the paper's
+published counts exactly (the corpus is data, so the match is exact).
+"""
+
+from repro.core import analyze, known_bugs, operations_involved
+
+from conftest import print_table
+
+PAPER_CONSEQUENCE = {"corruption": 19, "data inconsistency": 6, "unmountable file system": 3}
+PAPER_KERNEL = {"3.12": 3, "3.13": 9, "3.16": 1, "4.1.1": 2, "4.4": 9, "4.15": 3, "4.16": 1}
+PAPER_FILESYSTEM = {"ext4": 2, "F2FS": 2, "btrfs": 24}
+PAPER_NUM_OPS = {1: 3, 2: 14, 3: 9}
+
+
+def test_table1_bug_study(benchmark):
+    report = benchmark(analyze)
+
+    print_table(
+        "Table 1a: bugs by consequence",
+        [(name, PAPER_CONSEQUENCE[name], report.by_consequence.get(name, 0))
+         for name in PAPER_CONSEQUENCE],
+        ("consequence", "paper", "measured"),
+    )
+    print_table(
+        "Table 1b: bugs by kernel version",
+        [(name, PAPER_KERNEL[name], report.by_kernel.get(name, 0)) for name in PAPER_KERNEL],
+        ("kernel", "paper", "measured"),
+    )
+    print_table(
+        "Table 1c: bugs by file system",
+        [(name, PAPER_FILESYSTEM[name], report.by_filesystem.get(name, 0))
+         for name in PAPER_FILESYSTEM],
+        ("file system", "paper", "measured"),
+    )
+    print_table(
+        "Table 1d: bugs by number of core operations",
+        [(num, PAPER_NUM_OPS[num], report.by_num_ops.get(num, 0)) for num in PAPER_NUM_OPS],
+        ("# ops", "paper", "measured"),
+    )
+
+    assert report.unique_bugs == 26
+    assert report.total_bug_instances == 28
+    assert report.by_consequence == PAPER_CONSEQUENCE
+    assert report.by_kernel == PAPER_KERNEL
+    assert report.by_filesystem == PAPER_FILESYSTEM
+    assert report.by_num_ops == PAPER_NUM_OPS
+
+
+def test_table1_common_operations(benchmark):
+    counts = benchmark(operations_involved, known_bugs())
+    top = sorted(counts, key=counts.get, reverse=True)
+    print_table(
+        "Most common operations in reported bugs (§3)",
+        [(op, counts[op]) for op in top[:6]],
+        ("operation", "bugs involving it"),
+    )
+    # The paper: write, link, unlink and rename are the four most common.
+    assert set(top[:6]) >= {"write", "link", "rename"}

@@ -1,0 +1,73 @@
+"""Table 3 — the bounds used by ACE.
+
+Reports the concrete values ACE uses for each B3 bound and measures how the
+workload-space size reacts when a bound is relaxed (the §5.2 observation that
+adding one nested directory multiplies the seq-3 space by ~2.5x).
+"""
+
+from dataclasses import replace
+
+from repro.ace import AceSynthesizer, build_fileset, seq2_bounds, seq3_nested_bounds
+
+from conftest import print_table
+
+
+def test_table3_default_bounds(benchmark):
+    bounds = seq2_bounds()
+    fileset = benchmark(build_fileset, bounds)
+
+    print_table(
+        "Table 3: bounds used by ACE",
+        [
+            ("number of operations", "max 3 core ops", f"seq length up to 3 (this set: {bounds.seq_length})"),
+            ("files and directories", "2 dirs of depth 2, 2 files each",
+             f"{len(fileset.directories)} dirs, {len(fileset.files)} files"),
+            ("data operations", "overwrites to start/middle/end + appends",
+             ", ".join(bounds.write_ranges)),
+            ("initial FS state", "clean 100MB image", f"{bounds.device_blocks * 4096 // (1024*1024)}MB image"),
+        ],
+        ("B3 bound", "paper (Table 3)", "this reproduction"),
+    )
+
+    assert len(fileset.directories) == 2
+    assert len(fileset.files) == 6
+    assert len(bounds.write_ranges) == 4
+    assert bounds.device_blocks * 4096 == 100 * 1024 * 1024
+
+
+def test_table3_relaxing_bounds_grows_the_space(benchmark):
+    """§5.2: relaxing the file-set bound sharply increases the workload count."""
+
+    def measure():
+        base = AceSynthesizer(seq3_nested_bounds().with_label("seq-3-nested"))
+        base_without_nesting = AceSynthesizer(
+            replace(seq3_nested_bounds(), nested=False, label="seq-3-flat")
+        )
+        return base_without_nesting.estimate_count(), base.estimate_count()
+
+    flat, nested = benchmark(measure)
+    growth = nested / max(flat, 1)
+    print_table(
+        "Workload-space growth when adding a nested directory (paper: ~2.5x)",
+        [("without nested dir", flat, ""), ("with nested dir", nested, f"{growth:.2f}x")],
+        ("bound", "estimated workloads", "growth"),
+    )
+    assert nested > flat
+    assert growth >= 1.5
+
+
+def test_table3_seq_length_dominates_growth(benchmark):
+    def measure():
+        counts = {}
+        for length in (1, 2):
+            bounds = replace(seq2_bounds(), seq_length=length, label=f"seq-{length}")
+            counts[length] = AceSynthesizer(bounds).estimate_count()
+        return counts
+
+    counts = benchmark(measure)
+    print_table(
+        "Workload space vs. sequence length",
+        [(f"seq-{length}", count) for length, count in sorted(counts.items())],
+        ("sequence", "estimated workloads"),
+    )
+    assert counts[2] > counts[1] * 50

@@ -1,0 +1,48 @@
+"""Shared helpers for the benchmark suite.
+
+Every benchmark module regenerates one table or figure from the paper's
+evaluation.  Benchmarks print a small "paper vs. measured" table (visible with
+``pytest -s``) in addition to the pytest-benchmark timing output, and assert
+the qualitative *shape* of the result (who wins, what reproduces, how counts
+scale) rather than absolute numbers.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.crashmonkey import CrashMonkey
+from repro.fs import BugConfig
+from repro.workload import parse_workload
+
+#: Device size used by all benchmarks (sparse, 16 MiB).
+BENCH_DEVICE_BLOCKS = 4096
+
+
+def make_harness(fs_name: str, bugs=None, **kwargs) -> CrashMonkey:
+    return CrashMonkey(fs_name, bugs=bugs, device_blocks=BENCH_DEVICE_BLOCKS, **kwargs)
+
+
+def run_text(fs_name: str, text: str, bugs=None, name: str = "bench"):
+    harness = make_harness(fs_name, bugs)
+    return harness.test_workload(parse_workload(text, name=name))
+
+
+def print_table(title: str, rows, headers) -> None:
+    """Render a small fixed-width table to stdout."""
+    widths = [len(str(header)) for header in headers]
+    for row in rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(str(cell)))
+    line = "  ".join(str(header).ljust(widths[index]) for index, header in enumerate(headers))
+    print()
+    print(f"=== {title} ===")
+    print(line)
+    print("-" * len(line))
+    for row in rows:
+        print("  ".join(str(cell).ljust(widths[index]) for index, cell in enumerate(row)))
+
+
+@pytest.fixture
+def patched():
+    return BugConfig.none()

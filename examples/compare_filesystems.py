@@ -1,0 +1,51 @@
+"""Compare crash-consistency behaviour across the four simulated file systems.
+
+Runs the same sampled seq-2 workload set against the btrfs-, ext4-, F2FS- and
+FSCQ-like file systems (all in their unpatched configuration) and prints a
+per-file-system summary — reproducing the paper's qualitative finding that
+the complex copy-on-write file system (btrfs) exhibits far more
+crash-consistency bugs than the mature journaling one (ext4).
+
+Run with::
+
+    python examples/compare_filesystems.py
+"""
+
+from collections import Counter
+
+from repro.ace import AceSynthesizer, seq2_bounds
+from repro.crashmonkey import CrashMonkey
+from repro.core.dedup import group_reports
+
+SAMPLE_SIZE = 200
+FILESYSTEMS = ("btrfs", "ext4", "f2fs", "fscq")
+
+
+def main() -> int:
+    print(f"Sampling {SAMPLE_SIZE} seq-2 workloads (spread over the whole bounded space)...")
+    workloads = AceSynthesizer(seq2_bounds()).sample(SAMPLE_SIZE)
+
+    print(f"{'file system':<12} {'failing workloads':>18} {'report groups':>14}   consequences")
+    print("-" * 88)
+    for fs_name in FILESYSTEMS:
+        harness = CrashMonkey(fs_name, device_blocks=4096, only_last_checkpoint=True)
+        reports = []
+        failing = 0
+        for workload in workloads:
+            result = harness.test_workload(workload)
+            if not result.passed:
+                failing += 1
+                reports.extend(result.bug_reports)
+        groups = group_reports(reports)
+        consequences = Counter(report.consequence for report in reports)
+        summary = ", ".join(f"{name} x{count}" for name, count in consequences.most_common(3))
+        print(f"{harness.fs_model:<12} {failing:>18} {len(groups):>14}   {summary or '-'}")
+
+    print()
+    print("As in the paper, the btrfs-like file system dominates the bug count, the")
+    print("ext4-like journaling file system is nearly clean, and F2FS sits in between.")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,26 @@
+"""repro — a pure-Python reproduction of B3 bounded black-box crash testing.
+
+The package reimplements the system from "Finding Crash-Consistency Bugs with
+Bounded Black-Box Crash Testing" (OSDI 2018): the CrashMonkey record/replay
+crash-testing harness, the ACE bounded workload generator, simulated file
+systems carrying the paper's bug classes, and the campaign/cluster layers used
+to reproduce the paper's evaluation.
+"""
+
+__version__ = "1.0.0"
+
+from . import errors, storage
+from . import fs as filesystems  # re-exported under a readable name
+from .core.campaign import quick_campaign
+from .crashmonkey.harness import CrashMonkey
+from .workload.language import parse_workload
+
+__all__ = [
+    "errors",
+    "storage",
+    "filesystems",
+    "quick_campaign",
+    "CrashMonkey",
+    "parse_workload",
+    "__version__",
+]

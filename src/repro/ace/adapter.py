@@ -1,0 +1,75 @@
+"""CrashMonkey adapter (paper §5.2).
+
+ACE's synthesizer emits workloads in the high-level language; a custom adapter
+converts each one into a test program for the record-and-replay tool.  In the
+paper that is a generated C++ file for CrashMonkey (or, via other adapters,
+input for tools like dm-log-writes).  Here the adapter produces:
+
+* a validated :class:`Workload` ready for :class:`repro.crashmonkey.CrashMonkey`
+  (persistence points are where the harness inserts checkpoint requests), and
+* optionally a standalone Python test script equivalent to the generated C++
+  test file, which is useful for documentation and for reproducing a single
+  workload outside the campaign machinery.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..errors import WorkloadError
+from ..workload.language import format_workload
+from ..workload.workload import Workload
+
+
+class CrashMonkeyAdapter:
+    """Converts ACE workloads into CrashMonkey test inputs."""
+
+    def __init__(self, fs_name: str = "btrfs"):
+        self.fs_name = fs_name
+
+    def adapt(self, workload: Workload) -> Workload:
+        """Validate and return the workload CrashMonkey should run."""
+        workload.validate()
+        return workload
+
+    def adapt_all(self, workloads) -> List[Workload]:
+        adapted = []
+        for workload in workloads:
+            try:
+                adapted.append(self.adapt(workload))
+            except WorkloadError:
+                continue
+        return adapted
+
+    def to_test_program(self, workload: Workload) -> str:
+        """Render a standalone test script (the C++ test-file equivalent)."""
+        workload_text = format_workload(workload)
+        lines = [
+            '"""Auto-generated CrashMonkey test program.',
+            "",
+            f"Workload: {workload.display_name()} (source: {workload.source or 'ace'})",
+            '"""',
+            "",
+            "from repro.crashmonkey import CrashMonkey",
+            "from repro.workload import parse_workload",
+            "",
+            "WORKLOAD = '''",
+            workload_text,
+            "'''",
+            "",
+            "",
+            "def main():",
+            f"    harness = CrashMonkey({self.fs_name!r})",
+            f"    workload = parse_workload(WORKLOAD, name={workload.display_name()!r})",
+            "    result = harness.test_workload(workload)",
+            "    print(result.summary())",
+            "    for report in result.bug_reports:",
+            "        print(report.describe())",
+            "    return 0 if result.passed else 1",
+            "",
+            "",
+            'if __name__ == "__main__":',
+            "    raise SystemExit(main())",
+            "",
+        ]
+        return "\n".join(lines)

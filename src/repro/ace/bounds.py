@@ -1,0 +1,121 @@
+"""B3 bounds (paper §4.2, Table 3).
+
+The bounds define the finite workload space ACE explores exhaustively:
+
+* the number of core file-system operations per workload (sequence length),
+* the set of operations to draw from,
+* the file and directory argument set (few files, shallow directories),
+* the classes of write ranges (appends and overlapping overwrites),
+* the initial file-system state (a small, freshly formatted image).
+
+``Bounds`` carries user-adjustable values; the functions below reproduce the
+specific bound sets the paper used for its five workload groups (Table 4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Tuple
+
+from ..storage.block import DEFAULT_DEVICE_BLOCKS
+from ..workload.operations import OpKind, WriteRange
+
+#: Operation set used for seq-1 and seq-2 (Table 4): the 14 core operations.
+SEQ12_OPERATIONS: Tuple[str, ...] = OpKind.ACE_CORE
+
+#: seq-3 groups narrow the operation list (Table 4).
+SEQ3_DATA_OPERATIONS: Tuple[str, ...] = (
+    OpKind.WRITE, OpKind.MWRITE, OpKind.DWRITE, OpKind.FALLOC,
+)
+SEQ3_METADATA_OPERATIONS: Tuple[str, ...] = (
+    OpKind.WRITE, OpKind.LINK, OpKind.UNLINK, OpKind.RENAME,
+)
+SEQ3_NESTED_OPERATIONS: Tuple[str, ...] = (
+    OpKind.LINK, OpKind.RENAME,
+)
+
+
+@dataclass(frozen=True)
+class Bounds:
+    """The bounded workload space ACE explores."""
+
+    #: number of core operations per workload (the "seq-X" length)
+    seq_length: int = 2
+    #: operations the skeletons are drawn from
+    operations: Tuple[str, ...] = SEQ12_OPERATIONS
+    #: number of files at the top level of the test directory
+    num_top_files: int = 2
+    #: number of directories (each holding its own files)
+    num_dirs: int = 2
+    #: number of files inside each directory
+    files_per_dir: int = 2
+    #: include a nested directory (depth 3) in the argument set
+    nested: bool = False
+    #: write-range classes data operations choose from
+    write_ranges: Tuple[str, ...] = (
+        WriteRange.APPEND,
+        WriteRange.OVERLAP_START,
+        WriteRange.OVERLAP_MIDDLE,
+        WriteRange.OVERLAP_END,
+    )
+    #: persistence operations phase 3 may insert
+    persistence_ops: Tuple[str, ...] = (OpKind.FSYNC, OpKind.SYNC)
+    #: also consider leaving an operation un-persisted (except the last one)
+    allow_unpersisted: bool = True
+    #: initial file-system image size in blocks (Table 3: a clean 100 MB image)
+    device_blocks: int = DEFAULT_DEVICE_BLOCKS
+    #: label used in reports ("seq-2", "seq-3-metadata", ...)
+    label: str = ""
+
+    def with_label(self, label: str) -> "Bounds":
+        return replace(self, label=label)
+
+    def describe(self) -> str:
+        return (
+            f"{self.label or f'seq-{self.seq_length}'}: "
+            f"{self.seq_length} core op(s) from {len(self.operations)} operations, "
+            f"{self.num_top_files} top-level files, {self.num_dirs} dirs x "
+            f"{self.files_per_dir} files{' + nested dir' if self.nested else ''}, "
+            f"write ranges={list(self.write_ranges)}"
+        )
+
+
+# -- the paper's five workload groups (Table 4) -------------------------------------
+
+
+def seq1_bounds() -> Bounds:
+    """seq-1: one core operation from the full 14-operation set."""
+    return Bounds(seq_length=1, operations=SEQ12_OPERATIONS, label="seq-1")
+
+
+def seq2_bounds() -> Bounds:
+    """seq-2: two core operations from the full 14-operation set."""
+    return Bounds(seq_length=2, operations=SEQ12_OPERATIONS, label="seq-2")
+
+
+def seq3_data_bounds() -> Bounds:
+    """seq-3-data: three core operations focused on data operations."""
+    return Bounds(seq_length=3, operations=SEQ3_DATA_OPERATIONS, label="seq-3-data")
+
+
+def seq3_metadata_bounds() -> Bounds:
+    """seq-3-metadata: three core operations focused on metadata operations."""
+    return Bounds(seq_length=3, operations=SEQ3_METADATA_OPERATIONS, label="seq-3-metadata")
+
+
+def seq3_nested_bounds() -> Bounds:
+    """seq-3-nested: link/rename on a file set that includes a depth-3 directory."""
+    return Bounds(
+        seq_length=3, operations=SEQ3_NESTED_OPERATIONS, nested=True, label="seq-3-nested"
+    )
+
+
+def paper_workload_groups() -> Tuple[Bounds, ...]:
+    """The five bound sets from Table 4, in the paper's order."""
+    return (
+        seq1_bounds(),
+        seq2_bounds(),
+        seq3_data_bounds(),
+        seq3_metadata_bounds(),
+        seq3_nested_bounds(),
+    )

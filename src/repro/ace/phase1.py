@@ -1,0 +1,39 @@
+"""ACE phase 1: select operations (skeleton generation).
+
+A *skeleton* is an ordered tuple of core operation names, e.g.
+``("rename", "link")`` for the Figure-4 example.  Phase 1 exhaustively
+enumerates all sequences of the allowed operations of the requested length;
+operations may repeat (the paper's default).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterator, Optional, Sequence, Tuple
+
+from .bounds import Bounds
+
+Skeleton = Tuple[str, ...]
+
+
+def generate_skeletons(bounds: Bounds,
+                       required_ops: Optional[Sequence[str]] = None) -> Iterator[Skeleton]:
+    """Yield every skeleton of length ``bounds.seq_length``.
+
+    Args:
+        bounds: the workload-space bounds (operation set and sequence length).
+        required_ops: if given, only skeletons containing all of these
+            operations are yielded (the "focus testing on new operations"
+            use case from §5.2).
+    """
+    for skeleton in itertools.product(bounds.operations, repeat=bounds.seq_length):
+        if required_ops and not all(op in skeleton for op in required_ops):
+            continue
+        yield skeleton
+
+
+def count_skeletons(bounds: Bounds, required_ops: Optional[Sequence[str]] = None) -> int:
+    """Number of skeletons phase 1 generates."""
+    if not required_ops:
+        return len(bounds.operations) ** bounds.seq_length
+    return sum(1 for _ in generate_skeletons(bounds, required_ops))

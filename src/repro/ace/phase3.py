@@ -1,0 +1,95 @@
+"""ACE phase 3: add persistence points.
+
+Every core operation may optionally be followed by a persistence point; the
+*last* operation always is, so that the workload is not equivalent to one of
+a shorter sequence length (paper §5.2).  The file or directory persisted is
+drawn from the same bounded argument set: the file the preceding operation
+touched, its parent directory, or a global ``sync``.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+from ..workload.operations import Operation, OpKind
+from .bounds import Bounds
+
+
+def _primary_path(op: Operation) -> Optional[str]:
+    """The path an operation primarily affects (its first path argument)."""
+    for arg in op.args:
+        if isinstance(arg, str) and not arg.startswith("user."):
+            return arg
+    return None
+
+
+def _secondary_path(op: Operation) -> Optional[str]:
+    """The second path argument (rename/link destination), if any."""
+    paths = [arg for arg in op.args if isinstance(arg, str) and not arg.startswith("user.")]
+    return paths[1] if len(paths) > 1 else None
+
+
+def _parent_dir(path: str) -> Optional[str]:
+    if "/" in path:
+        return path.rsplit("/", 1)[0]
+    return None
+
+
+def persistence_choices(op: Operation, bounds: Bounds, *, final: bool) -> List[Optional[Operation]]:
+    """Persistence options after one core operation.
+
+    Returns a list whose elements are either ``None`` (no persistence point)
+    or a persistence :class:`Operation`.
+    """
+    choices: List[Optional[Operation]] = []
+    if not final and bounds.allow_unpersisted:
+        choices.append(None)
+
+    targets: List[str] = []
+    primary = _primary_path(op)
+    secondary = _secondary_path(op)
+    if secondary is not None:
+        targets.append(secondary)
+    if primary is not None and primary not in targets:
+        targets.append(primary)
+    for path in (primary, secondary):
+        if path is None:
+            continue
+        parent = _parent_dir(path)
+        if parent is not None and parent not in targets:
+            targets.append(parent)
+
+    if OpKind.FSYNC in bounds.persistence_ops:
+        for target in targets:
+            choices.append(Operation(OpKind.FSYNC, (target,)))
+    if OpKind.FDATASYNC in bounds.persistence_ops:
+        for target in targets:
+            choices.append(Operation(OpKind.FDATASYNC, (target,)))
+    if OpKind.SYNC in bounds.persistence_ops:
+        choices.append(Operation(OpKind.SYNC, ()))
+    if not choices:
+        choices.append(Operation(OpKind.SYNC, ()))
+    return choices
+
+
+def add_persistence_points(core_ops: Sequence[Operation], bounds: Bounds) -> Iterator[List[Operation]]:
+    """Yield every interleaving of the core ops with persistence points."""
+    per_position = [
+        persistence_choices(op, bounds, final=(index == len(core_ops) - 1))
+        for index, op in enumerate(core_ops)
+    ]
+    for combination in itertools.product(*per_position):
+        ops: List[Operation] = []
+        for core_op, persistence in zip(core_ops, combination):
+            ops.append(core_op)
+            if persistence is not None:
+                ops.append(persistence)
+        yield ops
+
+
+def count_persistence_variants(core_ops: Sequence[Operation], bounds: Bounds) -> int:
+    total = 1
+    for index, op in enumerate(core_ops):
+        total *= len(persistence_choices(op, bounds, final=(index == len(core_ops) - 1)))
+    return total

@@ -1,0 +1,182 @@
+"""ACE phase 4: satisfy dependencies.
+
+The workloads produced by phases 1–3 assume their argument files and
+directories exist (and, for overwrites, contain data).  Phase 4 prepends the
+setup operations needed to make the workload executable on an empty file
+system — exactly like Figure 4, where ``mkdir A``, ``mkdir B`` and
+``creat A/foo`` are added ahead of the rename/link pair.
+
+Workloads that are statically invalid even with dependencies (for example a
+``link`` whose destination name necessarily already exists) are discarded.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Set
+
+from ..workload.operations import Operation, OpKind
+from .phase2 import BASE_FILE_SIZE
+
+#: Operations that require their (first) path argument to exist as a file.
+_NEEDS_FILE = {
+    OpKind.WRITE, OpKind.DWRITE, OpKind.MWRITE, OpKind.FALLOC, OpKind.FZERO,
+    OpKind.FPUNCH, OpKind.TRUNCATE, OpKind.SETXATTR, OpKind.REMOVEXATTR,
+    OpKind.UNLINK,
+}
+
+#: Operations that require base data in the file (overwrites, mmap writes, xattr removal).
+_NEEDS_DATA = {OpKind.MWRITE, OpKind.FPUNCH}
+
+#: Final path components the ACE file set uses for directories.
+_DIRECTORY_NAMES = {"A", "B", "C", "D", "new"}
+
+
+def _looks_like_directory(path: str) -> bool:
+    """True if a path from the ACE argument set names a directory."""
+    return path.rsplit("/", 1)[-1] in _DIRECTORY_NAMES
+
+
+class DependencyResolver:
+    """Tracks namespace state while dependencies are computed."""
+
+    def __init__(self):
+        self.dirs: Set[str] = {""}
+        self.files: Set[str] = set()
+        self.files_with_data: Set[str] = set()
+        self.files_with_xattr: Set[str] = set()
+        self.dependencies: List[Operation] = []
+
+    # -- helpers -----------------------------------------------------------------
+
+    def _ensure_parents(self, path: str) -> None:
+        parts = path.split("/")[:-1]
+        prefix = ""
+        for part in parts:
+            prefix = f"{prefix}/{part}" if prefix else part
+            if prefix not in self.dirs:
+                self.dependencies.append(Operation(OpKind.MKDIR, (prefix,), dependency=True))
+                self.dirs.add(prefix)
+
+    def _ensure_file(self, path: str) -> None:
+        self._ensure_parents(path)
+        if path not in self.files and path not in self.dirs:
+            self.dependencies.append(Operation(OpKind.CREAT, (path,), dependency=True))
+            self.files.add(path)
+
+    def _ensure_dir(self, path: str) -> None:
+        self._ensure_parents(path)
+        if path not in self.dirs:
+            self.dependencies.append(Operation(OpKind.MKDIR, (path,), dependency=True))
+            self.dirs.add(path)
+
+    def _ensure_data(self, path: str) -> None:
+        if path not in self.files_with_data:
+            self.dependencies.append(
+                Operation(OpKind.WRITE, (path, 0, BASE_FILE_SIZE), dependency=True)
+            )
+            self.files_with_data.add(path)
+
+    def _ensure_xattr(self, path: str, name: str) -> None:
+        if path not in self.files_with_xattr:
+            self.dependencies.append(
+                Operation(OpKind.SETXATTR, (path, name, "depvalue"), dependency=True)
+            )
+            self.files_with_xattr.add(path)
+
+    # -- per-operation handling -----------------------------------------------------
+
+    def process(self, op: Operation, *, overwrite_needs_data: bool = True) -> bool:
+        """Update state for ``op``; return False if the workload is invalid."""
+        name = op.op
+        args = op.args
+
+        if name == OpKind.CREAT:
+            path = str(args[0])
+            self._ensure_parents(path)
+            if path in self.dirs:
+                return False
+            self.files.add(path)
+        elif name == OpKind.MKDIR:
+            path = str(args[0])
+            self._ensure_parents(path)
+            if path in self.dirs or path in self.files:
+                return False
+            self.dirs.add(path)
+        elif name == OpKind.RMDIR:
+            path = str(args[0])
+            self._ensure_dir(path)
+            self.dirs.discard(path)
+        elif name == OpKind.REMOVE:
+            path = str(args[0])
+            if path in self.dirs:
+                self.dirs.discard(path)
+            else:
+                self._ensure_file(path)
+                self.files.discard(path)
+        elif name in _NEEDS_FILE:
+            path = str(args[0])
+            self._ensure_file(path)
+            if name in _NEEDS_DATA or (
+                overwrite_needs_data
+                and name in (OpKind.WRITE, OpKind.DWRITE)
+                and len(args) >= 2
+                and int(args[1]) < BASE_FILE_SIZE
+                and int(args[1]) > 0
+            ):
+                self._ensure_data(path)
+            if name == OpKind.REMOVEXATTR:
+                self._ensure_xattr(path, str(args[1]) if len(args) > 1 else "user.attr1")
+            if name == OpKind.UNLINK:
+                self.files.discard(path)
+            elif name in (OpKind.WRITE, OpKind.DWRITE, OpKind.MWRITE, OpKind.FZERO):
+                self.files_with_data.add(path)
+        elif name in (OpKind.LINK, OpKind.SYMLINK):
+            src, dst = str(args[0]), str(args[1])
+            if name == OpKind.LINK:
+                self._ensure_file(src)
+            self._ensure_parents(dst)
+            if dst in self.files or dst in self.dirs:
+                return False
+            self.files.add(dst)
+        elif name == OpKind.RENAME:
+            src, dst = str(args[0]), str(args[1])
+            if src in self.dirs:
+                self._ensure_parents(dst)
+                if dst in self.files:
+                    return False
+                self.dirs.discard(src)
+                self.dirs.add(dst)
+            else:
+                self._ensure_file(src)
+                self._ensure_parents(dst)
+                if dst in self.dirs:
+                    return False
+                self.files.discard(src)
+                self.files.add(dst)
+        elif name in (OpKind.FSYNC, OpKind.FDATASYNC, OpKind.MSYNC):
+            path = str(args[0])
+            if path not in self.dirs and path not in self.files:
+                # The persistence target must exist.  Whether it is a file or
+                # a directory follows the argument-set naming convention.
+                if _looks_like_directory(path):
+                    self._ensure_dir(path)
+                else:
+                    self._ensure_file(path)
+        elif name in (OpKind.SYNC, OpKind.DROPCACHES):
+            pass
+        else:
+            return False
+        return True
+
+
+def resolve_dependencies(ops: Sequence[Operation]) -> Optional[List[Operation]]:
+    """Prepend the dependency operations for a phase-3 workload.
+
+    Returns the full operation list, or ``None`` if the workload is invalid
+    (phase 4 discards it).
+    """
+    resolver = DependencyResolver()
+    for op in ops:
+        if not resolver.process(op):
+            return None
+    return resolver.dependencies + list(ops)

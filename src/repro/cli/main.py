@@ -1,0 +1,189 @@
+"""Command-line interface for the B3 reproduction.
+
+Subcommands mirror how the paper's tools are used:
+
+* ``repro-b3 study``          — print the Table-1 bug-study breakdown,
+* ``repro-b3 generate``       — generate ACE workloads for a sequence length,
+* ``repro-b3 test``           — run a workload file through CrashMonkey,
+* ``repro-b3 campaign``       — generate-and-test a bounded workload space,
+* ``repro-b3 reproduce``      — replay a known/new bug from the database,
+* ``repro-b3 list-bugs``      — list the known-bug corpus.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from ..ace.bounds import (
+    Bounds,
+    seq1_bounds,
+    seq2_bounds,
+    seq3_data_bounds,
+    seq3_metadata_bounds,
+    seq3_nested_bounds,
+)
+from ..ace.synthesizer import AceSynthesizer
+from ..core.campaign import B3Campaign, CampaignConfig
+from ..core.known_bugs import all_bugs, get_bug
+from ..core.study import analyze
+from ..crashmonkey.harness import CrashMonkey
+from ..fs.bugs import BugConfig
+from ..fs.registry import available_filesystems, resolve_fs_name
+from ..workload.language import format_workload, parse_workload
+
+_BOUND_PRESETS = {
+    "seq-1": seq1_bounds,
+    "seq-2": seq2_bounds,
+    "seq-3-data": seq3_data_bounds,
+    "seq-3-metadata": seq3_metadata_bounds,
+    "seq-3-nested": seq3_nested_bounds,
+}
+
+
+def _bounds_from_args(args) -> Bounds:
+    if args.preset:
+        return _BOUND_PRESETS[args.preset]()
+    return Bounds(seq_length=args.seq_length, label=f"seq-{args.seq_length}")
+
+
+def _bugs_from_args(args) -> Optional[BugConfig]:
+    if getattr(args, "patched", False):
+        return BugConfig.none()
+    return None
+
+
+def cmd_study(args) -> int:
+    print(analyze().describe())
+    return 0
+
+
+def cmd_list_bugs(args) -> int:
+    for bug in all_bugs():
+        repro = "" if bug.reproducible_by_b3 else " (outside B3 bounds)"
+        print(f"{bug.bug_id:<10} {'/'.join(bug.filesystems):<12} {bug.consequence:<28} {bug.title}{repro}")
+    return 0
+
+
+def cmd_generate(args) -> int:
+    bounds = _bounds_from_args(args)
+    synthesizer = AceSynthesizer(bounds)
+    count = 0
+    for workload in synthesizer.generate(limit=args.limit):
+        count += 1
+        if args.print_workloads:
+            print(f"# {workload.display_name()}")
+            print(format_workload(workload))
+            print()
+    print(f"generated {count} workloads within bounds: {bounds.describe()}", file=sys.stderr)
+    return 0
+
+
+def cmd_test(args) -> int:
+    with open(args.workload, "r", encoding="utf-8") as handle:
+        text = handle.read()
+    workload = parse_workload(text, name=args.workload)
+    harness = CrashMonkey(args.filesystem, bugs=_bugs_from_args(args))
+    result = harness.test_workload(workload)
+    print(result.summary())
+    for report in result.bug_reports:
+        print(report.describe())
+    return 0 if result.passed else 1
+
+
+def cmd_campaign(args) -> int:
+    config = CampaignConfig(
+        fs_name=args.filesystem,
+        bugs=_bugs_from_args(args),
+        bounds=_bounds_from_args(args),
+        max_workloads=args.limit,
+        sample=args.sample,
+    )
+    result = B3Campaign(config).run()
+    print(result.describe())
+    return 0 if not result.all_reports() else 1
+
+
+def cmd_reproduce(args) -> int:
+    bug = get_bug(args.bug_id)
+    if not bug.reproducible_by_b3:
+        print(f"{bug.bug_id} is outside B3's bounds and has no workload: {bug.notes}")
+        return 2
+    status = 0
+    for fs_name in bug.simulator_filesystems():
+        harness = CrashMonkey(fs_name, bugs=_bugs_from_args(args))
+        result = harness.test_workload(bug.workload())
+        found = "REPRODUCED" if not result.passed else "not reproduced"
+        print(f"{bug.bug_id} on {fs_name}: {found} ({', '.join(result.consequences()) or '-'})")
+        if args.verbose:
+            for report in result.bug_reports:
+                print(report.describe())
+        if result.passed:
+            status = 1
+    return status
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-b3",
+        description="Bounded black-box crash testing (CrashMonkey + ACE reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("study", help="print the crash-consistency bug-study breakdown (Table 1)")
+
+    sub.add_parser("list-bugs", help="list the known and new bugs in the database")
+
+    generate = sub.add_parser("generate", help="generate ACE workloads")
+    generate.add_argument("--preset", choices=sorted(_BOUND_PRESETS), default=None)
+    generate.add_argument("--seq-length", type=int, default=1)
+    generate.add_argument("--limit", type=int, default=None)
+    generate.add_argument("--print-workloads", action="store_true")
+
+    test = sub.add_parser("test", help="run one workload file through CrashMonkey")
+    test.add_argument("workload", help="path to a workload-language file")
+    test.add_argument("--filesystem", "-f", default="btrfs", choices=_fs_choices())
+    test.add_argument("--patched", action="store_true", help="test the patched (bug-free) file system")
+
+    campaign = sub.add_parser("campaign", help="generate and test a bounded workload space")
+    campaign.add_argument("--filesystem", "-f", default="btrfs", choices=_fs_choices())
+    campaign.add_argument("--preset", choices=sorted(_BOUND_PRESETS), default="seq-1")
+    campaign.add_argument("--seq-length", type=int, default=1)
+    campaign.add_argument("--limit", type=int, default=None)
+    campaign.add_argument("--sample", action="store_true",
+                          help="spread --limit workloads over the whole space")
+    campaign.add_argument("--patched", action="store_true")
+
+    reproduce = sub.add_parser("reproduce", help="replay a bug from the known-bug database")
+    reproduce.add_argument("bug_id", help="e.g. known-5 or new-1")
+    reproduce.add_argument("--patched", action="store_true")
+    reproduce.add_argument("--verbose", "-v", action="store_true")
+
+    return parser
+
+
+def _fs_choices() -> List[str]:
+    choices = list(available_filesystems())
+    choices.extend(["btrfs", "ext4", "f2fs", "xfs", "fscq"])
+    return sorted(set(choices))
+
+
+_COMMANDS = {
+    "study": cmd_study,
+    "list-bugs": cmd_list_bugs,
+    "generate": cmd_generate,
+    "test": cmd_test,
+    "campaign": cmd_campaign,
+    "reproduce": cmd_reproduce,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,23 @@
+"""Test-cluster simulation: scheduling, parallel execution, and cost models."""
+
+from .cost import CostModel
+from .runner import ClusterRunner, ClusterRunResult, VmStats
+from .scheduler import (
+    ClusterSpec,
+    DeploymentEstimate,
+    estimate_campaign_hours,
+    estimate_deployment,
+    partition,
+)
+
+__all__ = [
+    "ClusterSpec",
+    "partition",
+    "DeploymentEstimate",
+    "estimate_deployment",
+    "estimate_campaign_hours",
+    "ClusterRunner",
+    "ClusterRunResult",
+    "VmStats",
+    "CostModel",
+]

@@ -1,0 +1,137 @@
+"""Parallel campaign execution.
+
+Runs workload batches the way the paper's cluster does — many independent
+CrashMonkey instances, each with its own devices and file-system instance —
+using either the current process or a multiprocessing pool.  The results are
+merged into a single :class:`CampaignResult` plus per-VM statistics that feed
+the cluster-scale projections.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from ..core.results import CampaignResult
+from ..crashmonkey.harness import CrashMonkey
+from ..crashmonkey.report import CrashTestResult
+from ..fs.bugs import BugConfig
+from ..fs.registry import models, resolve_fs_name
+from ..workload.workload import Workload
+from .scheduler import ClusterSpec, estimate_campaign_hours, partition
+
+
+@dataclass
+class VmStats:
+    """Timing of one simulated VM's batch."""
+
+    vm_id: int
+    workloads: int
+    seconds: float
+    failing_workloads: int
+
+
+@dataclass
+class ClusterRunResult:
+    """Outcome of a (simulated) cluster run."""
+
+    campaign: CampaignResult
+    vm_stats: List[VmStats] = field(default_factory=list)
+    spec: ClusterSpec = field(default_factory=ClusterSpec)
+
+    @property
+    def wall_clock_seconds(self) -> float:
+        """Wall clock if the batches had actually run in parallel."""
+        return max((stats.seconds for stats in self.vm_stats), default=0.0)
+
+    def projected_hours_on_cluster(self, num_workloads: Optional[int] = None) -> float:
+        """Project the paper-scale run time from the measured per-workload latency."""
+        tested = self.campaign.workloads_tested
+        if tested == 0:
+            return 0.0
+        per_workload = self.campaign.testing_seconds / tested
+        return estimate_campaign_hours(num_workloads or tested, per_workload, self.spec)
+
+    def summary(self) -> str:
+        return (
+            f"{self.campaign.summary()}; simulated {len(self.vm_stats)} VM batches, "
+            f"parallel wall clock {self.wall_clock_seconds:.2f}s"
+        )
+
+
+def _run_batch(fs_name: str, bugs: Optional[BugConfig], device_blocks: int,
+               only_last_checkpoint: bool, batch: Sequence[Workload]) -> List[CrashTestResult]:
+    harness = CrashMonkey(
+        fs_name, bugs=bugs, device_blocks=device_blocks,
+        only_last_checkpoint=only_last_checkpoint,
+    )
+    return [harness.test_workload(workload) for workload in batch]
+
+
+def _run_batch_star(args) -> List[CrashTestResult]:
+    return _run_batch(*args)
+
+
+class ClusterRunner:
+    """Executes a workload set partitioned into VM-sized batches."""
+
+    def __init__(self, fs_name: str, bugs: Optional[BugConfig] = None,
+                 spec: ClusterSpec = ClusterSpec(), device_blocks: int = 4096,
+                 only_last_checkpoint: bool = False, processes: int = 1):
+        """
+        Args:
+            processes: number of OS processes to use.  ``1`` (default) runs the
+                batches sequentially in-process, which is the most portable
+                mode; larger values use a multiprocessing pool.
+        """
+        self.fs_name = resolve_fs_name(fs_name)
+        self.fs_model = models(self.fs_name)
+        self.bugs = bugs
+        self.spec = spec
+        self.device_blocks = device_blocks
+        self.only_last_checkpoint = only_last_checkpoint
+        self.processes = max(1, processes)
+
+    def run(self, workloads: Sequence[Workload], num_vms: Optional[int] = None,
+            label: str = "") -> ClusterRunResult:
+        num_vms = num_vms if num_vms is not None else min(self.spec.total_vms, max(len(workloads), 1))
+        batches = partition(workloads, num_vms)
+
+        campaign = CampaignResult(fs_name=self.fs_name, fs_model=self.fs_model, label=label)
+        run_result = ClusterRunResult(campaign=campaign, spec=self.spec)
+
+        testing_start = time.perf_counter()
+        batch_args = [
+            (self.fs_name, self.bugs, self.device_blocks, self.only_last_checkpoint, batch)
+            for batch in batches
+        ]
+        if self.processes == 1 or len(batches) == 1:
+            batch_results = []
+            for args in batch_args:
+                start = time.perf_counter()
+                results = _run_batch_star(args)
+                batch_results.append((results, time.perf_counter() - start))
+        else:
+            import multiprocessing
+
+            with multiprocessing.Pool(self.processes) as pool:
+                start = time.perf_counter()
+                all_results = pool.map(_run_batch_star, batch_args)
+                elapsed = time.perf_counter() - start
+                batch_results = [
+                    (results, elapsed / max(len(all_results), 1)) for results in all_results
+                ]
+        campaign.testing_seconds = time.perf_counter() - testing_start
+
+        for vm_id, (results, seconds) in enumerate(batch_results):
+            campaign.results.extend(results)
+            run_result.vm_stats.append(
+                VmStats(
+                    vm_id=vm_id,
+                    workloads=len(results),
+                    seconds=seconds,
+                    failing_workloads=sum(1 for result in results if not result.passed),
+                )
+            )
+        return run_result

@@ -1,0 +1,47 @@
+"""The B3 layer: bug study, known-bug corpus, campaigns, and post-processing."""
+
+from .campaign import B3Campaign, CampaignConfig, quick_campaign
+from .dedup import KnownBugDatabase, ReportGroup, deduplicate, filter_new_reports, group_reports
+from .known_bugs import (
+    BUGS,
+    KnownBug,
+    all_bugs,
+    bugs_for_filesystem,
+    get_bug,
+    known_bugs,
+    new_bugs,
+    table2_bugs,
+)
+from .results import CampaignResult
+from .study import (
+    StudyReport,
+    analyze,
+    operations_involved,
+    persistence_point_observation,
+    small_workload_observation,
+)
+
+__all__ = [
+    "B3Campaign",
+    "CampaignConfig",
+    "quick_campaign",
+    "CampaignResult",
+    "KnownBug",
+    "BUGS",
+    "known_bugs",
+    "new_bugs",
+    "all_bugs",
+    "get_bug",
+    "bugs_for_filesystem",
+    "table2_bugs",
+    "KnownBugDatabase",
+    "ReportGroup",
+    "group_reports",
+    "filter_new_reports",
+    "deduplicate",
+    "StudyReport",
+    "analyze",
+    "operations_involved",
+    "persistence_point_observation",
+    "small_workload_observation",
+]

@@ -1,0 +1,103 @@
+"""B3 campaigns: generate bounded workloads with ACE and test them with CrashMonkey.
+
+This is the top of the stack — the equivalent of the paper's testing strategy
+(§5.3): pick bounds, exhaustively generate workloads, run every workload
+through CrashMonkey against the target file system, and post-process the
+resulting bug reports.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence
+
+from ..ace.bounds import Bounds, seq1_bounds, seq2_bounds
+from ..ace.synthesizer import AceSynthesizer
+from ..crashmonkey.harness import CrashMonkey
+from ..fs.bugs import BugConfig
+from ..fs.registry import models, resolve_fs_name
+from ..workload.workload import Workload
+from .results import CampaignResult
+
+
+@dataclass
+class CampaignConfig:
+    """Configuration of one testing campaign."""
+
+    fs_name: str = "btrfs"
+    bugs: Optional[BugConfig] = None
+    bounds: Optional[Bounds] = None
+    #: cap on the number of generated workloads to test (None = exhaustive)
+    max_workloads: Optional[int] = None
+    #: spread the tested workloads over the whole space instead of taking a prefix
+    sample: bool = False
+    device_blocks: int = 4096
+    only_last_checkpoint: bool = False
+
+
+class B3Campaign:
+    """Run the generate → test → post-process pipeline."""
+
+    def __init__(self, config: CampaignConfig):
+        self.config = config
+        self.fs_name = resolve_fs_name(config.fs_name)
+        self.fs_model = models(self.fs_name)
+        self.bounds = config.bounds if config.bounds is not None else seq2_bounds()
+        self.harness = CrashMonkey(
+            self.fs_name,
+            bugs=config.bugs,
+            device_blocks=config.device_blocks,
+            only_last_checkpoint=config.only_last_checkpoint,
+        )
+
+    # ------------------------------------------------------------------ workload supply
+
+    def generate_workloads(self) -> List[Workload]:
+        """Generate the workloads this campaign will test."""
+        synthesizer = AceSynthesizer(self.bounds)
+        if self.config.max_workloads is None:
+            return list(synthesizer.generate())
+        if self.config.sample:
+            return synthesizer.sample(self.config.max_workloads)
+        return list(synthesizer.generate(limit=self.config.max_workloads))
+
+    # ------------------------------------------------------------------ execution
+
+    def run(self, workloads: Optional[Sequence[Workload]] = None) -> CampaignResult:
+        """Run the campaign; workloads are generated unless supplied."""
+        result = CampaignResult(
+            fs_name=self.fs_name,
+            fs_model=self.fs_model,
+            label=self.bounds.label or f"seq-{self.bounds.seq_length}",
+        )
+        generation_start = time.perf_counter()
+        if workloads is None:
+            workloads = self.generate_workloads()
+        result.generation_seconds = time.perf_counter() - generation_start
+
+        testing_start = time.perf_counter()
+        for workload in workloads:
+            result.results.append(self.harness.test_workload(workload))
+        result.testing_seconds = time.perf_counter() - testing_start
+        return result
+
+
+def quick_campaign(fs_name: str = "btrfs", seq_length: int = 1,
+                   max_workloads: Optional[int] = None,
+                   bugs: Optional[BugConfig] = None,
+                   sample: bool = False) -> CampaignResult:
+    """Convenience wrapper: the "single line command to run seq-1 workloads".
+
+    ``quick_campaign()`` with the defaults exhaustively tests every seq-1
+    workload against the btrfs-like file system and returns the aggregated
+    result — the same entry point the paper advertises for trying the tools.
+    """
+    bounds = seq1_bounds() if seq_length == 1 else seq2_bounds()
+    if seq_length not in (1, 2):
+        bounds = Bounds(seq_length=seq_length, label=f"seq-{seq_length}")
+    config = CampaignConfig(
+        fs_name=fs_name, bugs=bugs, bounds=bounds,
+        max_workloads=max_workloads, sample=sample,
+    )
+    return B3Campaign(config).run()

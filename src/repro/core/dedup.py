@@ -1,0 +1,113 @@
+"""Post-processing of bug reports (paper §5.3, Figure 5).
+
+A single underlying bug typically makes many generated workloads fail.  The
+paper mitigates this in two ways, both implemented here:
+
+* **grouping** — bug reports are grouped by the workload *skeleton* (the
+  sequence of core operations) and the consequence, so four reports that only
+  differ in which file from the argument set they used collapse into one
+  group to inspect;
+* **known-bug matching** — ACE keeps a database of already-found bugs (core
+  operations + consequence); new reports that match it are filtered out so
+  only genuinely new findings reach the user.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..crashmonkey.report import BugReport
+from .known_bugs import KnownBug
+
+
+GroupKey = Tuple[Tuple[str, ...], str]
+
+
+@dataclass
+class ReportGroup:
+    """All bug reports that share a skeleton and a consequence."""
+
+    skeleton: Tuple[str, ...]
+    consequence: str
+    reports: List[BugReport] = field(default_factory=list)
+
+    @property
+    def representative(self) -> BugReport:
+        return self.reports[0]
+
+    def __len__(self) -> int:
+        return len(self.reports)
+
+    def describe(self) -> str:
+        ops = ", ".join(self.skeleton) or "<no core ops>"
+        return (
+            f"[{self.consequence}] skeleton ({ops}): {len(self.reports)} report(s); "
+            f"representative workload {self.representative.workload.display_name()}"
+        )
+
+
+def group_reports(reports: Iterable[BugReport]) -> List[ReportGroup]:
+    """Group bug reports by (skeleton, consequence) — the Figure-5 GROUP BY."""
+    groups: "OrderedDict[GroupKey, ReportGroup]" = OrderedDict()
+    for report in reports:
+        key = report.group_key()
+        if key not in groups:
+            groups[key] = ReportGroup(skeleton=key[0], consequence=key[1])
+        groups[key].reports.append(report)
+    return list(groups.values())
+
+
+@dataclass
+class KnownBugDatabase:
+    """The database of already-found bugs ACE consults before reporting.
+
+    Entries are (set of core operations, consequence) pairs: the same
+    matching rule §5.3 describes.
+    """
+
+    entries: Set[Tuple[Tuple[str, ...], str]] = field(default_factory=set)
+
+    @classmethod
+    def from_known_bugs(cls, bugs: Sequence[KnownBug]) -> "KnownBugDatabase":
+        database = cls()
+        for bug in bugs:
+            if not bug.workload_text:
+                continue
+            database.add_workload_signature(
+                tuple(sorted(bug.workload().operations_used())), bug.consequence
+            )
+        return database
+
+    def add_workload_signature(self, operations: Tuple[str, ...], consequence: str) -> None:
+        self.entries.add((tuple(sorted(operations)), consequence))
+
+    def add_report(self, report: BugReport) -> None:
+        self.add_workload_signature(report.workload.operations_used(), report.consequence)
+
+    def matches(self, report: BugReport) -> bool:
+        signature = (tuple(sorted(report.workload.operations_used())), report.consequence)
+        return signature in self.entries
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+
+def filter_new_reports(reports: Iterable[BugReport],
+                       database: Optional[KnownBugDatabase] = None) -> List[BugReport]:
+    """Drop reports matching the known-bug database (and feed it the rest)."""
+    database = database if database is not None else KnownBugDatabase()
+    fresh: List[BugReport] = []
+    for report in reports:
+        if database.matches(report):
+            continue
+        fresh.append(report)
+        database.add_report(report)
+    return fresh
+
+
+def deduplicate(reports: Iterable[BugReport],
+                database: Optional[KnownBugDatabase] = None) -> List[ReportGroup]:
+    """Full Figure-5 pipeline: filter against the database, then group."""
+    return group_reports(filter_new_reports(reports, database))

@@ -1,0 +1,91 @@
+"""Campaign results.
+
+A B3 campaign tests many workloads on one file system; this module aggregates
+the per-workload :class:`CrashTestResult` objects into the quantities the
+paper reports: how many workloads were tested, how long testing took, how
+many bug reports were produced, and (after Figure-5 post-processing) how many
+distinct bugs remain.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..crashmonkey.report import BugReport, CrashTestResult
+from .dedup import KnownBugDatabase, ReportGroup, deduplicate, group_reports
+
+
+@dataclass
+class CampaignResult:
+    """Aggregated outcome of one testing campaign."""
+
+    fs_name: str
+    fs_model: str
+    label: str = ""
+    results: List[CrashTestResult] = field(default_factory=list)
+    generation_seconds: float = 0.0
+    testing_seconds: float = 0.0
+
+    # -- aggregation ------------------------------------------------------------
+
+    @property
+    def workloads_tested(self) -> int:
+        return len(self.results)
+
+    @property
+    def crash_points_tested(self) -> int:
+        return sum(result.checkpoints_tested for result in self.results)
+
+    @property
+    def failing_workloads(self) -> int:
+        return sum(1 for result in self.results if not result.passed)
+
+    def all_reports(self) -> List[BugReport]:
+        reports: List[BugReport] = []
+        for result in self.results:
+            reports.extend(result.bug_reports)
+        return reports
+
+    def grouped_reports(self) -> List[ReportGroup]:
+        """Figure-5 grouping of every raw report."""
+        return group_reports(self.all_reports())
+
+    def unique_reports(self, database: Optional[KnownBugDatabase] = None) -> List[ReportGroup]:
+        """Figure-5 grouping after filtering against a known-bug database."""
+        return deduplicate(self.all_reports(), database)
+
+    def consequences(self) -> Dict[str, int]:
+        counts: Counter = Counter()
+        for report in self.all_reports():
+            counts[report.consequence] += 1
+        return dict(counts)
+
+    def mean_test_seconds(self) -> float:
+        if not self.results:
+            return 0.0
+        return sum(result.total_seconds for result in self.results) / len(self.results)
+
+    def phase_seconds(self) -> Tuple[float, float, float]:
+        """Total (profile, replay, check) seconds across all workloads (§6.3)."""
+        profile = sum(result.profile_seconds for result in self.results)
+        replay = sum(result.replay_seconds for result in self.results)
+        check = sum(result.check_seconds for result in self.results)
+        return profile, replay, check
+
+    def summary(self) -> str:
+        groups = self.grouped_reports()
+        return (
+            f"campaign {self.label or '-'} on {self.fs_model}: "
+            f"{self.workloads_tested} workloads, {self.crash_points_tested} crash points, "
+            f"{self.failing_workloads} failing workloads, {len(self.all_reports())} raw reports, "
+            f"{len(groups)} report groups, "
+            f"{self.generation_seconds:.2f}s generation + {self.testing_seconds:.2f}s testing"
+        )
+
+    def describe(self) -> str:
+        lines = [self.summary(), "report groups:"]
+        for group in self.grouped_reports():
+            lines.append("  " + group.describe())
+        return "\n".join(lines)

@@ -1,0 +1,114 @@
+"""Crash-consistency bug study (paper §3, Table 1).
+
+Analytics over the known-bug corpus: breakdowns by consequence, kernel
+version, file system, and number of core operations, plus the observations
+the paper draws from them (small workloads suffice, every bug follows a
+persistence point, file-name reuse and overlapping writes dominate).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from ..workload.operations import OpKind
+from .known_bugs import KnownBug, known_bugs
+
+
+@dataclass
+class StudyReport:
+    """The Table-1 style breakdown of the studied bugs."""
+
+    by_consequence: Dict[str, int] = field(default_factory=dict)
+    by_kernel: Dict[str, int] = field(default_factory=dict)
+    by_filesystem: Dict[str, int] = field(default_factory=dict)
+    by_num_ops: Dict[int, int] = field(default_factory=dict)
+    unique_bugs: int = 0
+    total_bug_instances: int = 0
+
+    def describe(self) -> str:
+        lines = [
+            f"Studied {self.unique_bugs} unique crash-consistency bugs "
+            f"({self.total_bug_instances} bug/file-system instances)",
+            "by consequence:",
+        ]
+        lines.extend(f"  {name:<28} {count}" for name, count in sorted(self.by_consequence.items()))
+        lines.append("by kernel version:")
+        lines.extend(f"  {name:<28} {count}" for name, count in sorted(self.by_kernel.items()))
+        lines.append("by file system:")
+        lines.extend(f"  {name:<28} {count}" for name, count in sorted(self.by_filesystem.items()))
+        lines.append("by number of core operations:")
+        lines.extend(f"  {count_ops} op(s): {count}" for count_ops, count in sorted(self.by_num_ops.items()))
+        return "\n".join(lines)
+
+
+def analyze(bugs: List[KnownBug] = None) -> StudyReport:
+    """Compute the Table-1 breakdown.
+
+    Consequence, kernel and file-system counts are per bug/file-system
+    instance (a bug reported on two file systems counts twice, as in the
+    paper's 26-unique / 28-total accounting); the operation-count breakdown is
+    per unique bug.
+    """
+    bugs = known_bugs() if bugs is None else bugs
+    report = StudyReport()
+    report.unique_bugs = len(bugs)
+
+    consequence: Counter = Counter()
+    kernel: Counter = Counter()
+    filesystem: Counter = Counter()
+    num_ops: Counter = Counter()
+    instances = 0
+    for bug in bugs:
+        for fs_name in bug.filesystems:
+            instances += 1
+            consequence[bug.table1_consequence] += 1
+            kernel[bug.kernel_version] += 1
+            filesystem[fs_name] += 1
+        num_ops[bug.num_core_ops] += 1
+
+    report.total_bug_instances = instances
+    report.by_consequence = dict(consequence)
+    report.by_kernel = dict(kernel)
+    report.by_filesystem = dict(filesystem)
+    report.by_num_ops = dict(num_ops)
+    return report
+
+
+def operations_involved(bugs: List[KnownBug] = None) -> Dict[str, int]:
+    """Frequency of core operations across the studied bugs' workloads.
+
+    The paper observes that write, link, unlink and rename are the four most
+    common operations in reported bugs.
+    """
+    bugs = known_bugs() if bugs is None else bugs
+    counts: Counter = Counter()
+    for bug in bugs:
+        if not bug.workload_text:
+            continue
+        workload = bug.workload()
+        for op in workload.core_ops():
+            counts[op.op] += 1
+    return dict(counts)
+
+
+def persistence_point_observation(bugs: List[KnownBug] = None) -> Tuple[int, int]:
+    """(bugs whose workload ends at a persistence point, bugs with a workload).
+
+    Every reported bug involves a crash right after a persistence point —
+    this is the observation that makes B3's crash-point choice viable.
+    """
+    bugs = known_bugs() if bugs is None else bugs
+    with_workload = [bug for bug in bugs if bug.workload_text]
+    ending_with_persistence = sum(
+        1 for bug in with_workload if bug.workload().ends_with_persistence()
+    )
+    return ending_with_persistence, len(with_workload)
+
+
+def small_workload_observation(bugs: List[KnownBug] = None, max_ops: int = 3) -> Tuple[int, int]:
+    """(bugs reproducible with at most ``max_ops`` core ops, unique bugs)."""
+    bugs = known_bugs() if bugs is None else bugs
+    small = sum(1 for bug in bugs if bug.num_core_ops <= max_ops and bug.reproducible_by_b3)
+    return small, len(bugs)

@@ -1,0 +1,26 @@
+"""CrashMonkey — record/replay crash testing with automatic checking."""
+
+from .checker import AutoChecker
+from .harness import CrashMonkey
+from .oracle import Oracle
+from .recorder import WorkloadProfile, WorkloadRecorder
+from .replayer import CrashState, CrashStateGenerator
+from .report import BugReport, CrashTestResult, Mismatch
+from .tracker import PersistenceTracker, TrackedDir, TrackedFile, TrackerView
+
+__all__ = [
+    "CrashMonkey",
+    "AutoChecker",
+    "Oracle",
+    "WorkloadProfile",
+    "WorkloadRecorder",
+    "CrashState",
+    "CrashStateGenerator",
+    "BugReport",
+    "CrashTestResult",
+    "Mismatch",
+    "PersistenceTracker",
+    "TrackedFile",
+    "TrackedDir",
+    "TrackerView",
+]

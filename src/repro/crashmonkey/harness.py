@@ -1,0 +1,115 @@
+"""CrashMonkey — the end-to-end crash-testing harness.
+
+Given a workload and a target file system, :class:`CrashMonkey`:
+
+1. profiles the workload (records block I/O, oracles and the persisted set),
+2. constructs a crash state per persistence point by replaying the recorded
+   I/O onto a snapshot of the initial image,
+3. mounts each crash state (running the file system's recovery) and runs the
+   AutoChecker against the matching oracle,
+4. emits a bug report for every crash point whose checks fail.
+
+The harness is black box with respect to the file system: it only uses the
+POSIX-ish API and the block-device write stream.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import List, Optional
+
+from ..fs.bugs import BugConfig
+from ..fs.registry import models, resolve_fs_name
+from ..storage.block import DEFAULT_DEVICE_BLOCKS
+from ..workload.workload import Workload
+from .checker import AutoChecker
+from .recorder import WorkloadProfile, WorkloadRecorder
+from .replayer import CrashStateGenerator
+from .report import BugReport, CrashTestResult
+
+
+class CrashMonkey:
+    """Crash-test workloads against one simulated file system."""
+
+    def __init__(self, fs_name: str, bugs: Optional[BugConfig] = None,
+                 device_blocks: int = DEFAULT_DEVICE_BLOCKS,
+                 only_last_checkpoint: bool = False,
+                 run_write_checks: bool = True,
+                 kernel_version: str = "4.16"):
+        """
+        Args:
+            fs_name: simulator or real file-system name ("logfs" or "btrfs", ...).
+            bugs: bug configuration for the simulated file system.  Defaults to
+                every mechanism applicable to the file system (the unpatched
+                kernels the paper tested).
+            only_last_checkpoint: when True, only the final persistence point
+                is crash-tested.  This mirrors the paper's testing strategy of
+                running seq-1 before seq-2 before seq-3, which makes earlier
+                crash points redundant.
+            run_write_checks: enable the write checks (create/remove probes).
+            kernel_version: label attached to bug reports.
+        """
+        self.fs_name = resolve_fs_name(fs_name)
+        self.fs_model = models(self.fs_name)
+        self.bugs = bugs if bugs is not None else BugConfig.all_for(self.fs_name)
+        self.only_last_checkpoint = only_last_checkpoint
+        self.kernel_version = kernel_version
+        self.recorder = WorkloadRecorder(self.fs_name, self.bugs, device_blocks=device_blocks)
+        self.checker = AutoChecker(run_write_checks=run_write_checks)
+
+    # ------------------------------------------------------------------ public API
+
+    def profile(self, workload: Workload) -> WorkloadProfile:
+        """Phase 1 only: profile the workload and return the recording."""
+        workload.validate()
+        return self.recorder.profile(workload)
+
+    def test_workload(self, workload: Workload) -> CrashTestResult:
+        """Run the full record → replay → check pipeline on one workload."""
+        workload.validate()
+        result = CrashTestResult(
+            workload=workload, fs_type=self.fs_name, fs_model=self.fs_model
+        )
+
+        profile = self.recorder.profile(workload)
+        result.profile_seconds = profile.profile_seconds
+        result.recorded_requests = len(profile.io_log)
+        result.recorded_bytes = profile.recorded_bytes
+        result.executed_ops = profile.executed_ops
+        result.skipped_ops = profile.skipped_ops
+
+        checkpoints = profile.checkpoints()
+        if self.only_last_checkpoint and checkpoints:
+            checkpoints = [checkpoints[-1]]
+
+        generator = CrashStateGenerator(profile)
+        for checkpoint_id in checkpoints:
+            replay_start = time.perf_counter()
+            crash_state = generator.generate(checkpoint_id)
+            result.replay_seconds += time.perf_counter() - replay_start
+            result.crash_state_overlay_bytes = max(
+                result.crash_state_overlay_bytes, crash_state.overlay_bytes
+            )
+
+            check_start = time.perf_counter()
+            mismatches = self.checker.check(profile, crash_state)
+            result.check_seconds += time.perf_counter() - check_start
+            result.checkpoints_tested += 1
+
+            if mismatches:
+                result.bug_reports.append(
+                    BugReport(
+                        workload=workload,
+                        fs_type=self.fs_name,
+                        fs_model=self.fs_model,
+                        checkpoint_id=checkpoint_id,
+                        crash_point=crash_state.crash_point,
+                        mismatches=mismatches,
+                        kernel_version=self.kernel_version,
+                    )
+                )
+        return result
+
+    def test_workloads(self, workloads) -> List[CrashTestResult]:
+        """Test a batch of workloads, returning one result per workload."""
+        return [self.test_workload(workload) for workload in workloads]

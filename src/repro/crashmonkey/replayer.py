@@ -1,0 +1,90 @@
+"""Crash-state generator (CrashMonkey phase 2).
+
+A crash state is the storage contents immediately after a persistence
+operation completed: the base disk image plus the recorded write stream
+replayed up to the corresponding checkpoint marker.  Mounting the crash state
+runs the file system's own recovery code (log/journal replay); if that fails,
+the crash state is un-mountable and ``fsck`` is consulted, exactly as in the
+paper.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Optional
+
+from ..errors import UnmountableError
+from ..fs import fsck
+from ..fs.bugs import BugConfig
+from ..fs.registry import get_fs_class
+from ..storage.cow_device import CowDevice
+from ..storage.replay import replay_until_checkpoint
+from .recorder import WorkloadProfile
+
+
+@dataclass
+class CrashState:
+    """A recovered (or unrecoverable) crash state for one checkpoint."""
+
+    checkpoint_id: int
+    crash_point: str
+    device: CowDevice
+    fs: Optional[object] = None                #: mounted file system, if recovery succeeded
+    mount_error: Optional[UnmountableError] = None
+    fsck_report: Optional[fsck.FsckReport] = None
+    fsck_recovered_fs: Optional[object] = None
+    replay_seconds: float = 0.0
+    overlay_bytes: int = 0
+
+    @property
+    def mountable(self) -> bool:
+        return self.fs is not None
+
+    def describe(self) -> str:
+        if self.mountable:
+            return f"crash state @ {self.checkpoint_id}: mounted, recovery ran={self.fs.recovery_ran}"
+        detail = str(self.mount_error) if self.mount_error else "unknown mount failure"
+        return f"crash state @ {self.checkpoint_id}: UNMOUNTABLE ({detail})"
+
+
+class CrashStateGenerator:
+    """Builds and mounts crash states from a workload profile."""
+
+    def __init__(self, profile: WorkloadProfile, run_fsck_on_failure: bool = True):
+        self.profile = profile
+        self.fs_class = get_fs_class(profile.fs_name)
+        self.run_fsck_on_failure = run_fsck_on_failure
+
+    def generate(self, checkpoint_id: int) -> CrashState:
+        """Construct, mount and (if necessary) fsck one crash state."""
+        start = time.perf_counter()
+        oracle = self.profile.oracles.get(checkpoint_id)
+        crash_point = oracle.crash_point if oracle else f"checkpoint {checkpoint_id}"
+        device = replay_until_checkpoint(
+            self.profile.base_image, self.profile.io_log, checkpoint_id,
+            name=f"crash-{checkpoint_id}",
+        )
+        state = CrashState(
+            checkpoint_id=checkpoint_id,
+            crash_point=crash_point,
+            device=device,
+            overlay_bytes=device.overlay_bytes(),
+        )
+        fs = self.fs_class(device, self.profile.bugs)
+        try:
+            fs.mount()
+            state.fs = fs
+        except UnmountableError as exc:
+            state.mount_error = exc
+            if self.run_fsck_on_failure:
+                repaired_fs, report = fsck.repair(self.fs_class, device, self.profile.bugs)
+                state.fsck_report = report
+                state.fsck_recovered_fs = repaired_fs
+        state.replay_seconds = time.perf_counter() - start
+        return state
+
+    def generate_all(self):
+        """Yield a crash state per persistence point, in order."""
+        for checkpoint_id in self.profile.checkpoints():
+            yield self.generate(checkpoint_id)

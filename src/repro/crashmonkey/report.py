@@ -1,0 +1,148 @@
+"""Bug reports.
+
+The output of CrashMonkey is a bug report per failing crash point: which
+workload, which crash point, which file system, what was expected (from the
+oracle) and what was actually found in the recovered crash state (paper
+Figure 2's "Output").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from ..fs.bugs import Consequence
+from ..workload.workload import Workload
+
+
+@dataclass(frozen=True)
+class Mismatch:
+    """One failed correctness check."""
+
+    check: str                 #: which checker produced it ("read", "write", "mount", "atomicity")
+    consequence: str           #: one of :class:`repro.fs.bugs.Consequence`
+    path: str                  #: the path (or entity) the check concerns
+    expected: str              #: human-readable expected state
+    actual: str                #: human-readable observed state
+
+    def describe(self) -> str:
+        return (
+            f"[{self.check}] {self.consequence}: {self.path or '<file system>'}\n"
+            f"    expected: {self.expected}\n"
+            f"    actual:   {self.actual}"
+        )
+
+
+#: Ordering used to pick the "primary" consequence of a report (most severe first).
+_SEVERITY = (
+    Consequence.UNMOUNTABLE,
+    Consequence.DIR_UNREMOVABLE,
+    Consequence.ATOMICITY,
+    Consequence.FILE_MISSING,
+    Consequence.DATA_LOSS,
+    Consequence.WRONG_SIZE,
+    Consequence.CORRUPTION,
+    Consequence.DATA_INCONSISTENCY,
+)
+
+
+@dataclass
+class BugReport:
+    """A crash-consistency violation found at one crash point of one workload."""
+
+    workload: Workload
+    fs_type: str
+    fs_model: str                      #: the real file system the simulator stands in for
+    checkpoint_id: int
+    crash_point: str                   #: description of the persistence op crashed after
+    mismatches: List[Mismatch] = field(default_factory=list)
+    kernel_version: str = "4.16"       #: reported for parity with the paper's reports
+    notes: str = ""
+
+    @property
+    def consequence(self) -> str:
+        """The most severe consequence among the mismatches."""
+        found = {mismatch.consequence for mismatch in self.mismatches}
+        for consequence in _SEVERITY:
+            if consequence in found:
+                return consequence
+        return Consequence.CORRUPTION
+
+    @property
+    def consequences(self) -> Tuple[str, ...]:
+        return tuple(sorted({mismatch.consequence for mismatch in self.mismatches}))
+
+    def skeleton(self) -> Tuple[str, ...]:
+        return self.workload.skeleton()
+
+    def group_key(self) -> Tuple:
+        """Key used by the Figure-5 post-processing (skeleton + consequence)."""
+        return (self.skeleton(), self.consequence)
+
+    def summary(self) -> str:
+        return (
+            f"{self.fs_model} ({self.fs_type}) workload {self.workload.display_name()} "
+            f"crash after #{self.checkpoint_id} {self.crash_point}: {self.consequence} "
+            f"({len(self.mismatches)} failed check(s))"
+        )
+
+    def describe(self) -> str:
+        lines = [
+            "=" * 72,
+            f"Bug report: {self.consequence}",
+            f"  file system : {self.fs_model} (simulated by {self.fs_type})",
+            f"  kernel      : {self.kernel_version}",
+            f"  workload    : {self.workload.display_name()}",
+            f"  crash point : after persistence op #{self.checkpoint_id} ({self.crash_point})",
+        ]
+        if self.notes:
+            lines.append(f"  notes       : {self.notes}")
+        lines.append("  workload operations:")
+        for op in self.workload.ops:
+            lines.append(f"    {op.describe()}")
+        lines.append("  failed checks:")
+        for mismatch in self.mismatches:
+            for text_line in mismatch.describe().splitlines():
+                lines.append("    " + text_line)
+        lines.append("=" * 72)
+        return "\n".join(lines)
+
+
+@dataclass
+class CrashTestResult:
+    """Result of running CrashMonkey on one workload."""
+
+    workload: Workload
+    fs_type: str
+    fs_model: str
+    checkpoints_tested: int = 0
+    bug_reports: List[BugReport] = field(default_factory=list)
+    #: timing breakdown in seconds: profile / replay / check (paper §6.3)
+    profile_seconds: float = 0.0
+    replay_seconds: float = 0.0
+    check_seconds: float = 0.0
+    #: resource accounting (paper §6.5)
+    recorded_requests: int = 0
+    recorded_bytes: int = 0
+    crash_state_overlay_bytes: int = 0
+    executed_ops: int = 0
+    skipped_ops: int = 0
+
+    @property
+    def passed(self) -> bool:
+        return not self.bug_reports
+
+    @property
+    def total_seconds(self) -> float:
+        return self.profile_seconds + self.replay_seconds + self.check_seconds
+
+    def consequences(self) -> Tuple[str, ...]:
+        return tuple(sorted({report.consequence for report in self.bug_reports}))
+
+    def summary(self) -> str:
+        status = "PASS" if self.passed else "FAIL"
+        return (
+            f"[{status}] {self.fs_model} {self.workload.display_name()} "
+            f"({self.checkpoints_tested} crash points, "
+            f"{len(self.bug_reports)} bug report(s), {self.total_seconds * 1000:.1f} ms)"
+        )

@@ -1,0 +1,65 @@
+"""Simulated file systems — the substrate the B3 pipeline tests.
+
+Four file systems model the targets from the paper:
+
+* :class:`LogFS` — btrfs-like, per-inode fsync log (carries most bugs),
+* :class:`FlashFS` — F2FS-like, roll-forward node logging,
+* :class:`SeqFS` — ext4/xfs-like, whole-tree journal commits,
+* :class:`VeriFS` — FSCQ-like, verified core with an unverified fast path.
+
+Bug mechanisms are injectable via :class:`BugConfig` (see
+:mod:`repro.fs.bugs`); by default each file system exhibits every mechanism
+applicable to it, mirroring the unpatched kernels the paper tested.
+"""
+
+from .base import AbstractFileSystem
+from .bugs import BugConfig, BugMechanism, Consequence, MECHANISMS, get_mechanism, mechanisms_for
+from .flashfs import FlashFS
+from .fsck import FsckReport, check_device, repair
+from .inode import ROOT_INO, FileState, FileType, Inode
+from .logfs import LogFS
+from .registry import (
+    ALIASES,
+    FILESYSTEMS,
+    MODELS,
+    available_filesystems,
+    default_bugs,
+    get_fs_class,
+    make_fs,
+    models,
+    patched_bugs,
+    resolve_fs_name,
+)
+from .seqfs import SeqFS
+from .verifs import VeriFS
+
+__all__ = [
+    "AbstractFileSystem",
+    "BugConfig",
+    "BugMechanism",
+    "Consequence",
+    "MECHANISMS",
+    "get_mechanism",
+    "mechanisms_for",
+    "FileState",
+    "FileType",
+    "Inode",
+    "ROOT_INO",
+    "LogFS",
+    "FlashFS",
+    "SeqFS",
+    "VeriFS",
+    "FsckReport",
+    "check_device",
+    "repair",
+    "FILESYSTEMS",
+    "MODELS",
+    "ALIASES",
+    "available_filesystems",
+    "default_bugs",
+    "get_fs_class",
+    "make_fs",
+    "models",
+    "patched_bugs",
+    "resolve_fs_name",
+]

@@ -1,0 +1,266 @@
+"""On-disk layout shared by the simulated file systems.
+
+The layout is deliberately simple but has the structure that matters for
+crash consistency:
+
+* block 0 — superblock (committed atomically; names the active checkpoint
+  area and the current transaction generation),
+* two alternating checkpoint areas — a checkpoint is a full serialization of
+  the file-system metadata; it only becomes visible when the superblock is
+  rewritten to point at it (so a torn checkpoint is ignored),
+* a log area — fsync/fdatasync append self-describing log entries tagged with
+  the generation they belong to; recovery replays entries of the current
+  generation in order,
+* a data area — file data blocks, allocated by a simple bump allocator whose
+  state is part of the checkpoint.
+
+All metadata is serialized as JSON (this is a simulator; readability of the
+on-disk image is worth more than compactness).  File *data* is stored raw in
+data blocks and never embedded in the metadata JSON.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import CorruptionError, FsNoSpaceError
+from ..storage.block import BLOCK_SIZE
+
+SUPERBLOCK_MAGIC = "B3-REPRO-FS"
+CHECKPOINT_MAGIC = "B3-CKPT"
+LOG_MAGIC = "B3-LOG"
+
+SUPERBLOCK_BLOCK = 0
+CHECKPOINT_AREA_BLOCKS = 256  # 1 MiB per checkpoint area
+CHECKPOINT_A_START = 1
+CHECKPOINT_B_START = CHECKPOINT_A_START + CHECKPOINT_AREA_BLOCKS
+LOG_START = CHECKPOINT_B_START + CHECKPOINT_AREA_BLOCKS
+LOG_BLOCKS = 1024  # 4 MiB of log space
+DATA_START = LOG_START + LOG_BLOCKS
+
+
+@dataclass
+class Superblock:
+    """Contents of block 0."""
+
+    magic: str = SUPERBLOCK_MAGIC
+    fs_type: str = ""
+    generation: int = 0
+    checkpoint_area: str = "A"  # "A" or "B"
+    checkpoint_blocks: int = 0
+    clean_unmount: bool = True
+    data_start: int = DATA_START
+
+    def to_json(self) -> dict:
+        return {
+            "magic": self.magic,
+            "fs_type": self.fs_type,
+            "generation": self.generation,
+            "checkpoint_area": self.checkpoint_area,
+            "checkpoint_blocks": self.checkpoint_blocks,
+            "clean_unmount": self.clean_unmount,
+            "data_start": self.data_start,
+        }
+
+    @classmethod
+    def from_json(cls, payload: dict) -> "Superblock":
+        if payload.get("magic") != SUPERBLOCK_MAGIC:
+            raise CorruptionError("superblock magic mismatch (device not formatted?)")
+        return cls(
+            magic=payload["magic"],
+            fs_type=payload.get("fs_type", ""),
+            generation=int(payload.get("generation", 0)),
+            checkpoint_area=payload.get("checkpoint_area", "A"),
+            checkpoint_blocks=int(payload.get("checkpoint_blocks", 0)),
+            clean_unmount=bool(payload.get("clean_unmount", True)),
+            data_start=int(payload.get("data_start", DATA_START)),
+        )
+
+
+def _write_json_block(device, block: int, payload: dict, *, metadata: bool = True, tag: str = "") -> None:
+    raw = json.dumps(payload, sort_keys=True).encode("utf-8")
+    if len(raw) > BLOCK_SIZE:
+        raise CorruptionError(f"metadata payload of {len(raw)} bytes does not fit in one block")
+    try:
+        device.write_block(block, raw, metadata=metadata, tag=tag)
+    except TypeError:
+        # Plain devices (BlockDevice, CowDevice) take no annotation keywords.
+        device.write_block(block, raw)
+
+
+def _read_json_block(device, block: int) -> Optional[dict]:
+    raw = device.read_block(block).rstrip(b"\x00")
+    if not raw:
+        return None
+    try:
+        return json.loads(raw.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError):
+        return None
+
+
+# -- superblock -----------------------------------------------------------------
+
+
+def write_superblock(device, superblock: Superblock) -> None:
+    _write_json_block(device, SUPERBLOCK_BLOCK, superblock.to_json(), tag="superblock")
+
+
+def read_superblock(device) -> Superblock:
+    payload = _read_json_block(device, SUPERBLOCK_BLOCK)
+    if payload is None:
+        raise CorruptionError("device has no superblock (not formatted)")
+    return Superblock.from_json(payload)
+
+
+# -- checkpoints ------------------------------------------------------------------
+
+
+def _chunk_payload(payload: dict, magic: str, generation: int) -> List[dict]:
+    """Serialize a payload into self-describing block-sized chunk envelopes."""
+    raw = json.dumps(payload, sort_keys=True)
+    # Room for the per-block envelope.
+    chunk_size = BLOCK_SIZE - 256
+    chunks = [raw[offset:offset + chunk_size] for offset in range(0, len(raw), chunk_size)] or [""]
+    envelopes = []
+    for index, chunk in enumerate(chunks):
+        envelopes.append(
+            {
+                "magic": magic,
+                "generation": generation,
+                "index": index,
+                "total": len(chunks),
+                "payload": chunk,
+            }
+        )
+    return envelopes
+
+
+def _reassemble_chunks(raw_blocks: List[Optional[dict]], magic: str, generation: Optional[int] = None) -> Optional[dict]:
+    if not raw_blocks or raw_blocks[0] is None:
+        return None
+    header = raw_blocks[0]
+    if header.get("magic") != magic or header.get("index") != 0:
+        return None
+    if generation is not None and header.get("generation") != generation:
+        return None
+    total = int(header.get("total", 1))
+    pieces = []
+    for index in range(total):
+        if index >= len(raw_blocks) or raw_blocks[index] is None:
+            return None
+        block = raw_blocks[index]
+        if block.get("magic") != magic or block.get("index") != index:
+            return None
+        if generation is not None and block.get("generation") != generation:
+            return None
+        pieces.append(block.get("payload", ""))
+    try:
+        return json.loads("".join(pieces))
+    except json.JSONDecodeError:
+        return None
+
+
+def checkpoint_area_start(area: str) -> int:
+    return CHECKPOINT_A_START if area == "A" else CHECKPOINT_B_START
+
+
+def write_checkpoint(device, payload: dict, generation: int, area: str, *, tag: str = "checkpoint") -> int:
+    """Write a checkpoint into the given area; returns the number of blocks used."""
+    envelopes = _chunk_payload(payload, CHECKPOINT_MAGIC, generation)
+    if len(envelopes) > CHECKPOINT_AREA_BLOCKS:
+        raise FsNoSpaceError(
+            f"checkpoint of {len(envelopes)} blocks exceeds the checkpoint area "
+            f"({CHECKPOINT_AREA_BLOCKS} blocks)"
+        )
+    start = checkpoint_area_start(area)
+    for offset, envelope in enumerate(envelopes):
+        _write_json_block(device, start + offset, envelope, tag=tag)
+    return len(envelopes)
+
+
+def read_checkpoint(device, superblock: Superblock) -> Optional[dict]:
+    """Read the checkpoint named by the superblock; ``None`` if unreadable."""
+    if superblock.checkpoint_blocks == 0:
+        return None
+    start = checkpoint_area_start(superblock.checkpoint_area)
+    raw_blocks = [
+        _read_json_block(device, start + offset) for offset in range(superblock.checkpoint_blocks)
+    ]
+    return _reassemble_chunks(raw_blocks, CHECKPOINT_MAGIC, superblock.generation)
+
+
+# -- log ---------------------------------------------------------------------------
+
+
+def write_log_entry(device, entry: dict, generation: int, seq: int, next_log_block: int, *, tag: str = "log") -> int:
+    """Append a log entry starting at ``next_log_block``.
+
+    Returns the next free log block after the entry.  Raises
+    :class:`FsNoSpaceError` if the log area is exhausted (callers typically
+    force a checkpoint in that case).
+    """
+    payload = {"seq": seq, "entry": entry}
+    envelopes = _chunk_payload(payload, LOG_MAGIC, generation)
+    end_block = next_log_block + len(envelopes)
+    if end_block > LOG_START + LOG_BLOCKS:
+        raise FsNoSpaceError("log area exhausted; a checkpoint is required")
+    for offset, envelope in enumerate(envelopes):
+        _write_json_block(device, next_log_block + offset, envelope, tag=tag)
+    return end_block
+
+
+def read_log_entries(device, generation: int) -> List[dict]:
+    """Scan the log area and return entries of ``generation`` in append order.
+
+    The scan stops at the first block that is not a valid log chunk of the
+    requested generation, which is exactly how recovery after an unclean
+    shutdown discovers how much of the log is valid.
+    """
+    entries: List[Tuple[int, dict]] = []
+    block = LOG_START
+    while block < LOG_START + LOG_BLOCKS:
+        header = _read_json_block(device, block)
+        if header is None or header.get("magic") != LOG_MAGIC:
+            break
+        if header.get("generation") != generation:
+            break
+        total = int(header.get("total", 1))
+        raw_blocks = [_read_json_block(device, block + offset) for offset in range(total)]
+        payload = _reassemble_chunks(raw_blocks, LOG_MAGIC, generation)
+        if payload is None:
+            break
+        entries.append((int(payload.get("seq", 0)), payload.get("entry", {})))
+        block += total
+    entries.sort(key=lambda item: item[0])
+    return [entry for _, entry in entries]
+
+
+# -- data blocks --------------------------------------------------------------------
+
+
+class DataAllocator:
+    """Bump allocator for data blocks; its cursor is checkpointed."""
+
+    def __init__(self, device_blocks: int, next_block: int = DATA_START):
+        self.device_blocks = device_blocks
+        self.next_block = max(next_block, DATA_START)
+
+    def allocate(self, count: int = 1) -> List[int]:
+        if self.next_block + count > self.device_blocks:
+            raise FsNoSpaceError(
+                f"device full: cannot allocate {count} data blocks "
+                f"(next={self.next_block}, device={self.device_blocks})"
+            )
+        blocks = list(range(self.next_block, self.next_block + count))
+        self.next_block += count
+        return blocks
+
+    def to_json(self) -> dict:
+        return {"next_block": self.next_block}
+
+    @classmethod
+    def from_json(cls, device_blocks: int, payload: Optional[dict]) -> "DataAllocator":
+        next_block = DATA_START if not payload else int(payload.get("next_block", DATA_START))
+        return cls(device_blocks, next_block)

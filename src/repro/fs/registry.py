@@ -1,0 +1,82 @@
+"""Factory for the simulated file systems.
+
+The harness and the CLI refer to file systems by short names.  The registry
+maps those names to classes and records which real file system each one
+stands in for, so reports can speak the paper's language ("btrfs") while the
+code uses the simulator names.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Type
+
+from .base import AbstractFileSystem
+from .bugs import BugConfig
+from .flashfs import FlashFS
+from .logfs import LogFS
+from .seqfs import SeqFS
+from .verifs import VeriFS
+
+#: Simulator name -> class.
+FILESYSTEMS: Dict[str, Type[AbstractFileSystem]] = {
+    LogFS.fs_type: LogFS,
+    FlashFS.fs_type: FlashFS,
+    SeqFS.fs_type: SeqFS,
+    VeriFS.fs_type: VeriFS,
+}
+
+#: Simulator name -> the real file system it models.
+MODELS: Dict[str, str] = {
+    "logfs": "btrfs",
+    "flashfs": "F2FS",
+    "seqfs": "ext4",
+    "verifs": "FSCQ",
+}
+
+#: Reverse map, accepting the paper's names as aliases.
+ALIASES: Dict[str, str] = {
+    "btrfs": "logfs",
+    "f2fs": "flashfs",
+    "ext4": "seqfs",
+    "xfs": "seqfs",
+    "fscq": "verifs",
+}
+
+
+def resolve_fs_name(name: str) -> str:
+    """Map a user-supplied name (simulator or real) to a simulator name."""
+    lowered = name.strip().lower()
+    if lowered in FILESYSTEMS:
+        return lowered
+    if lowered in ALIASES:
+        return ALIASES[lowered]
+    raise KeyError(f"unknown file system {name!r}; known: {available_filesystems()}")
+
+
+def get_fs_class(name: str) -> Type[AbstractFileSystem]:
+    return FILESYSTEMS[resolve_fs_name(name)]
+
+
+def make_fs(name: str, device, bugs: Optional[BugConfig] = None) -> AbstractFileSystem:
+    """Instantiate (but do not format or mount) a file system on ``device``."""
+    return get_fs_class(name)(device, bugs)
+
+
+def default_bugs(name: str) -> BugConfig:
+    """The default (all applicable bugs enabled) config for a file system."""
+    return BugConfig.all_for(resolve_fs_name(name))
+
+
+def patched_bugs(name: str) -> BugConfig:
+    """A fully patched config (no injected bugs)."""
+    _ = resolve_fs_name(name)
+    return BugConfig.none()
+
+
+def models(name: str) -> str:
+    """The real file system a simulator name stands in for."""
+    return MODELS[resolve_fs_name(name)]
+
+
+def available_filesystems() -> List[str]:
+    return sorted(FILESYSTEMS)

@@ -1,0 +1,45 @@
+"""Block-size constants and small helpers shared by the storage layer.
+
+The simulated devices use a fixed 4096-byte block, matching the page-sized
+I/O the paper's wrapper block device observes.
+"""
+
+from __future__ import annotations
+
+BLOCK_SIZE = 4096
+
+#: Default device size: 100 MiB, the "clean file-system image of size 100MB"
+#: that Table 3 lists as the initial state used by ACE.
+DEFAULT_DEVICE_BLOCKS = (100 * 1024 * 1024) // BLOCK_SIZE
+
+ZERO_BLOCK = bytes(BLOCK_SIZE)
+
+
+def pad_block(data: bytes) -> bytes:
+    """Pad ``data`` with zero bytes to exactly one block.
+
+    Raises ``ValueError`` if the payload is larger than a block; callers that
+    need multi-block payloads must split them first.
+    """
+    if len(data) > BLOCK_SIZE:
+        raise ValueError(f"payload of {len(data)} bytes does not fit in a {BLOCK_SIZE}-byte block")
+    if len(data) == BLOCK_SIZE:
+        return bytes(data)
+    return bytes(data) + bytes(BLOCK_SIZE - len(data))
+
+
+def split_blocks(data: bytes) -> list:
+    """Split ``data`` into a list of block-sized chunks, padding the last one."""
+    if not data:
+        return []
+    chunks = []
+    for offset in range(0, len(data), BLOCK_SIZE):
+        chunks.append(pad_block(data[offset:offset + BLOCK_SIZE]))
+    return chunks
+
+
+def blocks_needed(num_bytes: int) -> int:
+    """Number of blocks required to hold ``num_bytes`` bytes."""
+    if num_bytes < 0:
+        raise ValueError("num_bytes must be non-negative")
+    return (num_bytes + BLOCK_SIZE - 1) // BLOCK_SIZE

@@ -1,0 +1,131 @@
+"""Copy-on-write snapshot device.
+
+CrashMonkey's second kernel module is an in-memory copy-on-write block device
+that provides fast, writable snapshots: the base image is shared, writes land
+in a private overlay, and resetting a snapshot simply drops the overlay.  This
+module provides the same facility for the simulated stack.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Optional, Tuple
+
+from ..errors import InvalidBlockError
+from .block import BLOCK_SIZE, ZERO_BLOCK, pad_block
+from .block_device import BlockDevice
+
+
+class CowDevice:
+    """A writable view over a shared, read-only base :class:`BlockDevice`.
+
+    Multiple ``CowDevice`` instances may share one base image; each keeps its
+    own overlay of modified blocks.  The base is never written through.
+    """
+
+    def __init__(self, base: BlockDevice, name: str = "cow0"):
+        self.base = base
+        self.name = name
+        self.num_blocks = base.num_blocks
+        self._overlay: Dict[int, bytes] = {}
+        self.writes = 0
+        self.reads = 0
+        self.flushes = 0
+
+    # -- capacity ----------------------------------------------------------
+
+    @property
+    def size_bytes(self) -> int:
+        return self.num_blocks * BLOCK_SIZE
+
+    def _check_block(self, block: int) -> None:
+        if not 0 <= block < self.num_blocks:
+            raise InvalidBlockError(
+                f"block {block} out of range for snapshot {self.name!r} with {self.num_blocks} blocks"
+            )
+
+    # -- I/O -----------------------------------------------------------------
+
+    def read_block(self, block: int) -> bytes:
+        self._check_block(block)
+        self.reads += 1
+        if block in self._overlay:
+            return self._overlay[block]
+        return self.base.read_block(block)
+
+    def write_block(self, block: int, data: bytes) -> None:
+        self._check_block(block)
+        self.writes += 1
+        self._overlay[block] = pad_block(data)
+
+    def discard_block(self, block: int) -> None:
+        """Make the block read as zero in this snapshot (without touching the base)."""
+        self._check_block(block)
+        self._overlay[block] = ZERO_BLOCK
+
+    def flush(self) -> None:
+        self.flushes += 1
+
+    # -- snapshot management -------------------------------------------------
+
+    def reset(self) -> None:
+        """Drop the overlay, reverting the snapshot to the base image."""
+        self._overlay.clear()
+
+    def snapshot(self, name: Optional[str] = None) -> "CowDevice":
+        """Create a new writable snapshot with the same visible contents.
+
+        The new snapshot shares the base image and copies this snapshot's
+        overlay, so subsequent writes to either do not affect the other.
+        """
+        clone = CowDevice(self.base, name=name or f"{self.name}-snap")
+        clone._overlay = dict(self._overlay)
+        return clone
+
+    def materialize(self, name: Optional[str] = None) -> BlockDevice:
+        """Flatten base + overlay into an independent :class:`BlockDevice`."""
+        device = self.base.copy(name=name or f"{self.name}-flat")
+        for block, data in self._overlay.items():
+            if data == ZERO_BLOCK:
+                device.discard_block(block)
+            else:
+                device.write_block(block, data)
+        return device
+
+    # -- accounting ------------------------------------------------------------
+
+    def overlay_blocks(self) -> int:
+        """Number of blocks that have been modified relative to the base."""
+        return len(self._overlay)
+
+    def overlay_bytes(self) -> int:
+        """Approximate memory the overlay consumes (the paper's §6.5 metric)."""
+        return len(self._overlay) * BLOCK_SIZE
+
+    def written_blocks(self) -> Iterator[Tuple[int, bytes]]:
+        """Iterate over ``(block, data)`` for the visible (merged) contents."""
+        merged: Dict[int, bytes] = {}
+        for block, data in self.base.written_blocks():
+            merged[block] = data
+        merged.update(self._overlay)
+        return iter(sorted(merged.items()))
+
+    def used_blocks(self) -> int:
+        return sum(1 for _ in self.written_blocks())
+
+    def content_equal(self, other) -> bool:
+        """Compare visible contents with another device (Cow or plain)."""
+        if self.num_blocks != getattr(other, "num_blocks", None):
+            return False
+        mine = dict(self.written_blocks())
+        theirs = dict(other.written_blocks())
+        blocks = set(mine) | set(theirs)
+        for block in blocks:
+            if mine.get(block, ZERO_BLOCK) != theirs.get(block, ZERO_BLOCK):
+                return False
+        return True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"CowDevice(name={self.name!r}, base={self.base.name!r}, "
+            f"overlay_blocks={self.overlay_blocks()})"
+        )

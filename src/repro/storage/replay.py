@@ -1,0 +1,46 @@
+"""Low-level I/O replay.
+
+CrashMonkey constructs a crash state by starting from the initial disk image
+and replaying the recorded write stream up to a chosen checkpoint, much like
+``dd``-ing the recorded writes back onto a snapshot.  This module implements
+that replay over the simulated devices.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from ..errors import HarnessError
+from .block_device import BlockDevice
+from .cow_device import CowDevice
+from .io_request import IORequest, split_at_checkpoint
+
+
+def replay_requests(base_image: BlockDevice, requests: Iterable[IORequest], name: str = "crash") -> CowDevice:
+    """Replay ``requests`` onto a fresh snapshot of ``base_image``.
+
+    Only write requests mutate the snapshot; flushes and checkpoint markers
+    are ignored (they carry no payload).  Returns the resulting snapshot.
+    """
+    snapshot = CowDevice(base_image, name=name)
+    for request in requests:
+        if request.is_write:
+            if request.block is None or request.data is None:
+                raise HarnessError(f"malformed write request in recorded stream: {request!r}")
+            snapshot.write_block(request.block, request.data)
+    return snapshot
+
+
+def replay_until_checkpoint(
+    base_image: BlockDevice,
+    requests: Iterable[IORequest],
+    checkpoint_id: int,
+    name: Optional[str] = None,
+) -> CowDevice:
+    """Replay the recorded stream up to and including ``checkpoint_id``.
+
+    The resulting device represents the storage contents immediately after the
+    corresponding persistence operation completed — the paper's *crash state*.
+    """
+    prefix = split_at_checkpoint(list(requests), checkpoint_id)
+    return replay_requests(base_image, prefix, name=name or f"crash-state-{checkpoint_id}")

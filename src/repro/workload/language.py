@@ -1,0 +1,166 @@
+"""High-level workload language.
+
+ACE represents workloads "in a high-level language, similar to the one
+depicted in Figure 4" before handing them to the CrashMonkey adapter.  This
+module provides a textual form of that language — one operation per line,
+``op arg1 arg2 ...`` — with a parser and a printer, so workloads can be stored
+in files, diffed, and fed to the CLI.
+
+Example::
+
+    mkdir A
+    creat A/foo
+    write A/foo 0 4096
+    fsync A/foo
+
+Comments start with ``#``; a line consisting of ``crash`` is accepted (and
+ignored) so appendix-style listings can be pasted directly.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..errors import WorkloadError
+from .operations import Operation, OpKind
+from .workload import Workload
+
+_BOOL_TRUE = {"1", "true", "yes", "keep", "keep_size", "-k"}
+
+
+def _parse_bool(token: str) -> bool:
+    return token.strip().lower() in _BOOL_TRUE
+
+
+def _parse_int(token: str, line_no: int) -> int:
+    try:
+        return int(token, 0)
+    except ValueError:
+        raise WorkloadError(f"line {line_no}: expected an integer, got {token!r}") from None
+
+
+def parse_line(line: str, line_no: int = 0) -> Optional[Operation]:
+    """Parse one line of the workload language into an :class:`Operation`."""
+    stripped = line.split("#", 1)[0].strip()
+    if not stripped:
+        return None
+    tokens = stripped.replace(",", " ").split()
+    op = tokens[0].lower()
+    args = tokens[1:]
+    if op in ("crash", "---crash---", "--crash--"):
+        return None
+
+    if op in (OpKind.CREAT, "touch"):
+        _require(args, 1, op, line_no)
+        return Operation(OpKind.CREAT, (args[0],))
+    if op == OpKind.MKDIR:
+        _require(args, 1, op, line_no)
+        return Operation(OpKind.MKDIR, (args[0],))
+    if op in (OpKind.WRITE, "pwrite"):
+        _require(args, 3, op, line_no)
+        return Operation(OpKind.WRITE, (args[0], _parse_int(args[1], line_no), _parse_int(args[2], line_no)))
+    if op in (OpKind.DWRITE, "d-write", "direct_write"):
+        _require(args, 3, op, line_no)
+        return Operation(OpKind.DWRITE, (args[0], _parse_int(args[1], line_no), _parse_int(args[2], line_no)))
+    if op in (OpKind.MWRITE, "m-write", "mmapwrite"):
+        _require(args, 3, op, line_no)
+        return Operation(OpKind.MWRITE, (args[0], _parse_int(args[1], line_no), _parse_int(args[2], line_no)))
+    if op in (OpKind.FALLOC, "fallocate"):
+        _require(args, 3, op, line_no)
+        keep = len(args) > 3 and _parse_bool(args[3])
+        return Operation(
+            OpKind.FALLOC,
+            (args[0], _parse_int(args[1], line_no), _parse_int(args[2], line_no)),
+            (("keep_size", keep),),
+        )
+    if op in (OpKind.FZERO, "zero_range"):
+        _require(args, 3, op, line_no)
+        keep = len(args) > 3 and _parse_bool(args[3])
+        return Operation(
+            OpKind.FZERO,
+            (args[0], _parse_int(args[1], line_no), _parse_int(args[2], line_no)),
+            (("keep_size", keep),),
+        )
+    if op in (OpKind.FPUNCH, "punch_hole"):
+        _require(args, 3, op, line_no)
+        return Operation(OpKind.FPUNCH, (args[0], _parse_int(args[1], line_no), _parse_int(args[2], line_no)))
+    if op == OpKind.LINK:
+        _require(args, 2, op, line_no)
+        return Operation(OpKind.LINK, (args[0], args[1]))
+    if op == OpKind.SYMLINK:
+        _require(args, 2, op, line_no)
+        return Operation(OpKind.SYMLINK, (args[0], args[1]))
+    if op == OpKind.UNLINK:
+        _require(args, 1, op, line_no)
+        return Operation(OpKind.UNLINK, (args[0],))
+    if op == OpKind.RMDIR:
+        _require(args, 1, op, line_no)
+        return Operation(OpKind.RMDIR, (args[0],))
+    if op in (OpKind.REMOVE, "rm"):
+        _require(args, 1, op, line_no)
+        return Operation(OpKind.REMOVE, (args[0],))
+    if op in (OpKind.RENAME, "mv"):
+        _require(args, 2, op, line_no)
+        return Operation(OpKind.RENAME, (args[0], args[1]))
+    if op == OpKind.TRUNCATE:
+        _require(args, 2, op, line_no)
+        return Operation(OpKind.TRUNCATE, (args[0], _parse_int(args[1], line_no)))
+    if op == OpKind.SETXATTR:
+        _require(args, 1, op, line_no)
+        name = args[1] if len(args) > 1 else "user.attr1"
+        value = args[2] if len(args) > 2 else "value1"
+        return Operation(OpKind.SETXATTR, (args[0], name, value))
+    if op == OpKind.REMOVEXATTR:
+        _require(args, 1, op, line_no)
+        name = args[1] if len(args) > 1 else "user.attr1"
+        return Operation(OpKind.REMOVEXATTR, (args[0], name))
+    if op == OpKind.DROPCACHES:
+        return Operation(OpKind.DROPCACHES, ())
+    if op == OpKind.FSYNC:
+        _require(args, 1, op, line_no)
+        return Operation(OpKind.FSYNC, (args[0],))
+    if op == OpKind.FDATASYNC:
+        _require(args, 1, op, line_no)
+        return Operation(OpKind.FDATASYNC, (args[0],))
+    if op == OpKind.MSYNC:
+        _require(args, 1, op, line_no)
+        if len(args) >= 3:
+            return Operation(OpKind.MSYNC, (args[0], _parse_int(args[1], line_no), _parse_int(args[2], line_no)))
+        return Operation(OpKind.MSYNC, (args[0],))
+    if op == OpKind.SYNC:
+        return Operation(OpKind.SYNC, ())
+    raise WorkloadError(f"line {line_no}: unknown operation {op!r}")
+
+
+def _require(args: List[str], count: int, op: str, line_no: int) -> None:
+    if len(args) < count:
+        raise WorkloadError(
+            f"line {line_no}: {op} needs at least {count} argument(s), got {len(args)}"
+        )
+
+
+def parse_workload(text: str, name: str = "", source: str = "language") -> Workload:
+    """Parse a multi-line workload description."""
+    ops = []
+    for line_no, line in enumerate(text.splitlines(), start=1):
+        op = parse_line(line, line_no)
+        if op is not None:
+            ops.append(op)
+    if not ops:
+        raise WorkloadError("workload text contains no operations")
+    return Workload(ops=ops, name=name, source=source)
+
+
+def format_workload(workload: Workload) -> str:
+    """Render a workload back into the language (inverse of ``parse_workload``)."""
+    lines = []
+    for op in workload.ops:
+        parts = [op.op]
+        parts.extend(str(arg) for arg in op.args)
+        for key, value in op.kwargs:
+            if key == "keep_size" and value:
+                parts.append("keep_size")
+            elif key != "keep_size":
+                parts.append(str(value))
+        lines.append(" ".join(parts))
+    return "\n".join(lines)

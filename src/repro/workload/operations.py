@@ -1,0 +1,220 @@
+"""Workload operations.
+
+A workload is a sequence of file-system operations (paper §4/§5.2).  This
+module defines the operation vocabulary: the fourteen core operations ACE
+supports (Table 4), the persistence operations that create crash points, and
+a few auxiliary operations used by the known-bug workloads from the appendix
+(symlink, punch hole, zero range, dropcaches).
+
+Operations are plain data (name + arguments); the executor in
+:mod:`repro.workload.executor` maps them onto the simulated file-system API.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Optional, Tuple
+
+
+class OpKind:
+    """Operation names.  Matches the paper's terminology where possible."""
+
+    CREAT = "creat"
+    MKDIR = "mkdir"
+    FALLOC = "falloc"
+    WRITE = "write"            # buffered write
+    DWRITE = "dwrite"          # direct-I/O write
+    MWRITE = "mwrite"          # write through an mmap'ed region
+    LINK = "link"
+    SYMLINK = "symlink"
+    UNLINK = "unlink"
+    RMDIR = "rmdir"
+    REMOVE = "remove"
+    RENAME = "rename"
+    TRUNCATE = "truncate"
+    SETXATTR = "setxattr"
+    REMOVEXATTR = "removexattr"
+    FZERO = "fzero"            # fallocate(ZERO_RANGE)
+    FPUNCH = "fpunch"          # fallocate(PUNCH_HOLE)
+    DROPCACHES = "dropcaches"
+
+    FSYNC = "fsync"
+    FDATASYNC = "fdatasync"
+    MSYNC = "msync"
+    SYNC = "sync"
+
+    #: The fourteen core operations ACE supports (paper §5.2).
+    ACE_CORE = (
+        CREAT, MKDIR, FALLOC, WRITE, MWRITE, LINK, DWRITE,
+        UNLINK, RMDIR, SETXATTR, REMOVEXATTR, REMOVE, TRUNCATE, RENAME,
+    )
+
+    #: Persistence operations — the only points at which B3 simulates crashes.
+    PERSISTENCE = (FSYNC, FDATASYNC, MSYNC, SYNC)
+
+    #: Operations that take a data range (offset/length) as arguments.
+    DATA_OPS = (WRITE, DWRITE, MWRITE, FALLOC, FZERO, FPUNCH)
+
+
+#: Write-range flavours ACE distinguishes (paper §4.2 "Data operations").
+class WriteRange:
+    APPEND = "append"
+    OVERLAP_START = "overlap_start"
+    OVERLAP_MIDDLE = "overlap_middle"
+    OVERLAP_END = "overlap_end"
+    OVERLAP_EXTEND = "overlap_extend"
+
+    ALL = (APPEND, OVERLAP_START, OVERLAP_MIDDLE, OVERLAP_END, OVERLAP_EXTEND)
+
+
+@dataclass(frozen=True)
+class Operation:
+    """One operation in a workload.
+
+    Attributes:
+        op: the operation name (one of :class:`OpKind`'s constants).
+        args: operation arguments (paths, offsets, lengths, flags).
+        dependency: True if the operation was added by ACE's phase 4 to
+            satisfy a dependency (it is then not part of the *core* sequence).
+    """
+
+    op: str
+    args: Tuple = ()
+    kwargs: Tuple = ()
+    dependency: bool = False
+
+    # -- convenience accessors -------------------------------------------------
+
+    @property
+    def is_persistence(self) -> bool:
+        return self.op in OpKind.PERSISTENCE
+
+    @property
+    def kwargs_dict(self) -> Dict:
+        return dict(self.kwargs)
+
+    def as_dependency(self) -> "Operation":
+        return replace(self, dependency=True)
+
+    def to_json(self) -> dict:
+        return {
+            "op": self.op,
+            "args": list(self.args),
+            "kwargs": {key: value for key, value in self.kwargs},
+            "dependency": self.dependency,
+        }
+
+    @classmethod
+    def from_json(cls, payload: dict) -> "Operation":
+        return cls(
+            op=payload["op"],
+            args=tuple(payload.get("args", ())),
+            kwargs=tuple(sorted(payload.get("kwargs", {}).items())),
+            dependency=bool(payload.get("dependency", False)),
+        )
+
+    def describe(self) -> str:
+        """Figure-4 style one-line rendering, e.g. ``rename(A/foo, B/bar)``."""
+        parts = [str(arg) for arg in self.args]
+        parts.extend(f"{key}={value}" for key, value in self.kwargs)
+        suffix = " [dep]" if self.dependency else ""
+        return f"{self.op}({', '.join(parts)}){suffix}"
+
+    def __str__(self) -> str:
+        return self.describe()
+
+
+# -- constructors -------------------------------------------------------------------
+#
+# These small helpers keep workload-construction code readable (both ACE's and
+# the hand-encoded known-bug workloads from the appendix).
+
+
+def creat(path: str, dependency: bool = False) -> Operation:
+    return Operation(OpKind.CREAT, (path,), dependency=dependency)
+
+
+def mkdir(path: str, dependency: bool = False) -> Operation:
+    return Operation(OpKind.MKDIR, (path,), dependency=dependency)
+
+
+def write(path: str, offset: int, length: int) -> Operation:
+    return Operation(OpKind.WRITE, (path, offset, length))
+
+
+def dwrite(path: str, offset: int, length: int) -> Operation:
+    return Operation(OpKind.DWRITE, (path, offset, length))
+
+
+def mwrite(path: str, offset: int, length: int) -> Operation:
+    return Operation(OpKind.MWRITE, (path, offset, length))
+
+
+def falloc(path: str, offset: int, length: int, keep_size: bool = False) -> Operation:
+    return Operation(OpKind.FALLOC, (path, offset, length), (("keep_size", keep_size),))
+
+
+def fzero(path: str, offset: int, length: int, keep_size: bool = False) -> Operation:
+    return Operation(OpKind.FZERO, (path, offset, length), (("keep_size", keep_size),))
+
+
+def fpunch(path: str, offset: int, length: int) -> Operation:
+    return Operation(OpKind.FPUNCH, (path, offset, length))
+
+
+def link(src: str, dst: str) -> Operation:
+    return Operation(OpKind.LINK, (src, dst))
+
+
+def symlink(target: str, path: str) -> Operation:
+    return Operation(OpKind.SYMLINK, (target, path))
+
+
+def unlink(path: str) -> Operation:
+    return Operation(OpKind.UNLINK, (path,))
+
+
+def rmdir(path: str) -> Operation:
+    return Operation(OpKind.RMDIR, (path,))
+
+
+def remove(path: str) -> Operation:
+    return Operation(OpKind.REMOVE, (path,))
+
+
+def rename(src: str, dst: str) -> Operation:
+    return Operation(OpKind.RENAME, (src, dst))
+
+
+def truncate(path: str, size: int) -> Operation:
+    return Operation(OpKind.TRUNCATE, (path, size))
+
+
+def setxattr(path: str, name: str = "user.attr1", value: str = "value1") -> Operation:
+    return Operation(OpKind.SETXATTR, (path, name, value))
+
+
+def removexattr(path: str, name: str = "user.attr1") -> Operation:
+    return Operation(OpKind.REMOVEXATTR, (path, name))
+
+
+def dropcaches() -> Operation:
+    return Operation(OpKind.DROPCACHES, ())
+
+
+def fsync(path: str) -> Operation:
+    return Operation(OpKind.FSYNC, (path,))
+
+
+def fdatasync(path: str) -> Operation:
+    return Operation(OpKind.FDATASYNC, (path,))
+
+
+def msync(path: str, offset: int = 0, length: Optional[int] = None) -> Operation:
+    if length is None:
+        return Operation(OpKind.MSYNC, (path,))
+    return Operation(OpKind.MSYNC, (path, offset, length))
+
+
+def sync() -> Operation:
+    return Operation(OpKind.SYNC, ())

@@ -1,0 +1,72 @@
+"""Command-line interface."""
+
+import pytest
+
+from repro.cli.main import build_parser, main
+
+
+def test_study_command_prints_table1(capsys):
+    assert main(["study"]) == 0
+    output = capsys.readouterr().out
+    assert "26 unique crash-consistency bugs" in output
+    assert "btrfs" in output
+
+
+def test_list_bugs_command(capsys):
+    assert main(["list-bugs"]) == 0
+    output = capsys.readouterr().out
+    assert "known-1" in output
+    assert "new-11" in output
+    assert "outside B3 bounds" in output
+
+
+def test_generate_command_reports_count(capsys):
+    assert main(["generate", "--preset", "seq-1", "--limit", "25"]) == 0
+    err = capsys.readouterr().err
+    assert "generated 25 workloads" in err
+
+
+def test_generate_can_print_workloads(capsys):
+    main(["generate", "--seq-length", "1", "--limit", "2", "--print-workloads"])
+    out = capsys.readouterr().out
+    assert "sync" in out or "fsync" in out
+
+
+def test_test_command_runs_a_workload_file(tmp_path, capsys):
+    workload_file = tmp_path / "figure1.wl"
+    workload_file.write_text(
+        "creat foo\nlink foo bar\nsync\nunlink bar\ncreat bar\nfsync bar\n"
+    )
+    # Buggy file system: exit code 1 and a bug report.
+    assert main(["test", str(workload_file), "--filesystem", "btrfs"]) == 1
+    assert "Bug report" in capsys.readouterr().out
+    # Patched file system: exit code 0.
+    assert main(["test", str(workload_file), "--filesystem", "btrfs", "--patched"]) == 0
+
+
+def test_campaign_command_with_patched_fs(capsys):
+    code = main([
+        "campaign", "--filesystem", "btrfs", "--preset", "seq-1",
+        "--limit", "20", "--patched",
+    ])
+    assert code == 0
+    assert "workloads" in capsys.readouterr().out
+
+
+def test_reproduce_command_for_a_new_bug(capsys):
+    assert main(["reproduce", "new-11"]) == 0
+    assert "REPRODUCED" in capsys.readouterr().out
+
+
+def test_reproduce_command_out_of_bounds_bug(capsys):
+    assert main(["reproduce", "known-25"]) == 2
+    assert "outside B3" in capsys.readouterr().out
+
+
+def test_reproduce_patched_returns_nonzero(capsys):
+    assert main(["reproduce", "new-11", "--patched"]) == 1
+
+
+def test_parser_rejects_unknown_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["frobnicate"])

@@ -1,0 +1,131 @@
+"""The known-bug corpus and the Table-1 study analytics."""
+
+import pytest
+
+from repro.core import (
+    all_bugs,
+    analyze,
+    bugs_for_filesystem,
+    get_bug,
+    known_bugs,
+    new_bugs,
+    operations_involved,
+    persistence_point_observation,
+    small_workload_observation,
+    table2_bugs,
+)
+from repro.fs import MECHANISMS
+from repro.workload import OpKind
+
+
+class TestCorpusShape:
+    def test_26_known_and_11_new_bugs(self):
+        assert len(known_bugs()) == 26
+        assert len(new_bugs()) == 11
+        assert len(all_bugs()) == 37
+
+    def test_two_known_bugs_are_outside_b3_bounds(self):
+        out_of_bounds = [bug for bug in known_bugs() if not bug.reproducible_by_b3]
+        assert len(out_of_bounds) == 2
+        for bug in out_of_bounds:
+            assert bug.workload_text == ""
+            assert bug.kernel_version == "3.13"  # as stated in the paper
+
+    def test_bug_ids_are_unique(self):
+        ids = [bug.bug_id for bug in all_bugs()]
+        assert len(ids) == len(set(ids))
+
+    def test_every_in_bounds_bug_has_a_parsable_valid_workload(self):
+        for bug in all_bugs():
+            if not bug.reproducible_by_b3:
+                continue
+            workload = bug.workload()
+            workload.validate()
+            assert workload.ends_with_persistence()
+
+    def test_every_in_bounds_bug_maps_to_known_mechanisms(self):
+        for bug in all_bugs():
+            if not bug.reproducible_by_b3:
+                continue
+            assert bug.mechanisms, bug.bug_id
+            for mechanism in bug.mechanisms:
+                assert mechanism in MECHANISMS
+
+    def test_simulator_filesystem_mapping(self):
+        assert get_bug("known-1").simulator_filesystems() == ("logfs", "flashfs")
+        assert get_bug("new-11").simulator_filesystems() == ("verifs",)
+
+    def test_get_bug_unknown_id(self):
+        with pytest.raises(KeyError):
+            get_bug("known-99")
+
+    def test_bugs_for_filesystem(self):
+        assert all("btrfs" in bug.filesystems for bug in bugs_for_filesystem("btrfs"))
+        ext4_bugs = bugs_for_filesystem("ext4", include_new=False)
+        assert {bug.bug_id for bug in ext4_bugs} == {"known-2", "known-4"}
+        fscq = bugs_for_filesystem("fscq")
+        assert [bug.bug_id for bug in fscq] == ["new-11"]
+
+    def test_table2_has_five_rows_in_order(self):
+        rows = table2_bugs()
+        assert [bug.table2_row for bug in rows] == [1, 2, 4, 5, 5] or len(rows) == 5
+
+
+class TestTable1Distributions:
+    """The study breakdown must match Table 1 of the paper exactly."""
+
+    @pytest.fixture(scope="class")
+    def report(self):
+        return analyze()
+
+    def test_totals(self, report):
+        assert report.unique_bugs == 26
+        assert report.total_bug_instances == 28
+
+    def test_consequence_breakdown(self, report):
+        assert report.by_consequence == {
+            "corruption": 19,
+            "data inconsistency": 6,
+            "unmountable file system": 3,
+        }
+
+    def test_kernel_breakdown(self, report):
+        assert report.by_kernel == {
+            "3.12": 3, "3.13": 9, "3.16": 1, "4.1.1": 2, "4.4": 9, "4.15": 3, "4.16": 1,
+        }
+
+    def test_filesystem_breakdown(self, report):
+        assert report.by_filesystem == {"ext4": 2, "F2FS": 2, "btrfs": 24}
+
+    def test_num_ops_breakdown(self, report):
+        assert report.by_num_ops == {1: 3, 2: 14, 3: 9}
+
+    def test_describe_renders_all_sections(self, report):
+        text = report.describe()
+        for heading in ("consequence", "kernel", "file system", "core operations"):
+            assert heading in text
+
+
+class TestStudyObservations:
+    def test_most_common_operations_include_the_papers_top_four(self):
+        # §3: write, link, unlink and rename are the most common operations
+        # in the reported bugs.
+        counts = operations_involved()
+        top = sorted(counts, key=counts.get, reverse=True)[:6]
+        for op_name in (OpKind.WRITE, OpKind.LINK, OpKind.RENAME):
+            assert op_name in top
+
+    def test_every_reported_bug_crashes_after_a_persistence_point(self):
+        ending, total = persistence_point_observation()
+        assert total == 24  # the 24 bugs with in-bounds workloads
+        assert ending == total
+
+    def test_small_workloads_cover_24_of_26_bugs(self):
+        small, total = small_workload_observation(max_ops=3)
+        assert total == 26
+        assert small == 24
+
+    def test_new_bugs_report_introduction_years(self):
+        # Table 5: seven of the new btrfs bugs had been in the kernel since 2014.
+        since_2014 = [bug for bug in new_bugs() if bug.introduced == "2014"]
+        assert len(since_2014) == 7

@@ -1,0 +1,114 @@
+"""End-to-end CrashMonkey harness behaviour and reports."""
+
+import pytest
+
+from repro.crashmonkey import BugReport, CrashMonkey, Mismatch
+from repro.errors import WorkloadError
+from repro.fs import BugConfig, Consequence
+from repro.workload import parse_workload
+
+from conftest import SMALL_DEVICE_BLOCKS
+
+FIGURE1 = "creat foo\nlink foo bar\nsync\nunlink bar\ncreat bar\nfsync bar"
+
+
+class TestHarness:
+    def test_buggy_fs_fails_and_patched_fs_passes(self):
+        workload = parse_workload(FIGURE1, name="figure-1")
+        buggy = CrashMonkey("btrfs", device_blocks=SMALL_DEVICE_BLOCKS).test_workload(workload)
+        patched = CrashMonkey("btrfs", bugs=BugConfig.none(),
+                              device_blocks=SMALL_DEVICE_BLOCKS).test_workload(workload)
+        assert not buggy.passed
+        assert buggy.consequences() == (Consequence.UNMOUNTABLE,)
+        assert patched.passed
+
+    def test_every_checkpoint_is_tested_by_default(self):
+        workload = parse_workload("creat foo\nfsync foo\ncreat bar\nsync\nwrite foo 0 10\nfsync foo")
+        result = CrashMonkey("btrfs", bugs=BugConfig.none(),
+                             device_blocks=SMALL_DEVICE_BLOCKS).test_workload(workload)
+        assert result.checkpoints_tested == 3
+
+    def test_only_last_checkpoint_mode(self):
+        workload = parse_workload("creat foo\nfsync foo\ncreat bar\nsync")
+        result = CrashMonkey("btrfs", bugs=BugConfig.none(), only_last_checkpoint=True,
+                             device_blocks=SMALL_DEVICE_BLOCKS).test_workload(workload)
+        assert result.checkpoints_tested == 1
+
+    def test_workload_without_persistence_is_rejected(self):
+        harness = CrashMonkey("btrfs", device_blocks=SMALL_DEVICE_BLOCKS)
+        with pytest.raises(WorkloadError):
+            harness.test_workload(parse_workload("creat foo\nwrite foo 0 10"))
+
+    def test_timing_breakdown_is_populated(self):
+        workload = parse_workload("creat foo\nwrite foo 0 8192\nfsync foo")
+        result = CrashMonkey("btrfs", bugs=BugConfig.none(),
+                             device_blocks=SMALL_DEVICE_BLOCKS).test_workload(workload)
+        assert result.profile_seconds > 0
+        assert result.replay_seconds > 0
+        assert result.check_seconds > 0
+        assert result.total_seconds == pytest.approx(
+            result.profile_seconds + result.replay_seconds + result.check_seconds
+        )
+
+    def test_resource_accounting_is_populated(self):
+        workload = parse_workload("creat foo\nwrite foo 0 65536\nsync")
+        result = CrashMonkey("btrfs", bugs=BugConfig.none(),
+                             device_blocks=SMALL_DEVICE_BLOCKS).test_workload(workload)
+        assert result.recorded_requests > 0
+        assert result.recorded_bytes > 0
+        assert result.crash_state_overlay_bytes > 0
+
+    def test_test_workloads_batch(self):
+        harness = CrashMonkey("btrfs", bugs=BugConfig.none(), device_blocks=SMALL_DEVICE_BLOCKS)
+        workloads = [parse_workload("creat a\nfsync a"), parse_workload("mkdir D\nfsync D")]
+        results = harness.test_workloads(workloads)
+        assert len(results) == 2
+        assert all(result.passed for result in results)
+
+    def test_real_filesystem_names_are_accepted(self):
+        for name, model in (("btrfs", "btrfs"), ("ext4", "ext4"), ("f2fs", "F2FS"), ("fscq", "FSCQ")):
+            harness = CrashMonkey(name, device_blocks=SMALL_DEVICE_BLOCKS)
+            assert harness.fs_model == model
+
+
+class TestBugReports:
+    def _failing_result(self):
+        workload = parse_workload(FIGURE1, name="figure-1")
+        return CrashMonkey("btrfs", device_blocks=SMALL_DEVICE_BLOCKS).test_workload(workload)
+
+    def test_report_carries_workload_and_crash_point(self):
+        result = self._failing_result()
+        report = result.bug_reports[0]
+        assert report.workload.display_name() == "figure-1"
+        assert report.checkpoint_id == 2
+        assert "fsync" in report.crash_point
+
+    def test_report_group_key_uses_skeleton_and_consequence(self):
+        report = self._failing_result().bug_reports[0]
+        skeleton, consequence = report.group_key()
+        assert consequence == Consequence.UNMOUNTABLE
+        assert "unlink" in skeleton
+
+    def test_describe_contains_expected_and_actual(self):
+        report = self._failing_result().bug_reports[0]
+        text = report.describe()
+        assert "expected" in text
+        assert "actual" in text
+        assert "figure-1" in text
+
+    def test_summary_strings(self):
+        result = self._failing_result()
+        assert "FAIL" in result.summary()
+        assert "btrfs" in result.bug_reports[0].summary()
+
+    def test_most_severe_consequence_wins(self):
+        report = BugReport(
+            workload=parse_workload("creat foo\nfsync foo"),
+            fs_type="logfs", fs_model="btrfs", checkpoint_id=1, crash_point="fsync(foo)",
+            mismatches=[
+                Mismatch("read", Consequence.DATA_INCONSISTENCY, "foo", "a", "b"),
+                Mismatch("mount", Consequence.UNMOUNTABLE, "", "a", "b"),
+            ],
+        )
+        assert report.consequence == Consequence.UNMOUNTABLE
+        assert Consequence.DATA_INCONSISTENCY in report.consequences

@@ -1,0 +1,58 @@
+"""Oracle snapshots."""
+
+import pytest
+
+from repro.crashmonkey import Oracle
+from repro.fs import BugConfig
+
+from conftest import make_mounted_fs
+
+
+@pytest.fixture
+def fs():
+    filesystem, recording, base = make_mounted_fs("logfs", BugConfig.none())
+    filesystem.mkdir("A")
+    filesystem.creat("A/foo")
+    filesystem.write("A/foo", 0, b"oracle-data")
+    filesystem.link("A/foo", "A/bar")
+    filesystem.symlink("A/foo", "lnk")
+    return filesystem
+
+
+def test_capture_snapshots_every_path(fs):
+    oracle = Oracle.capture(fs, 1, "fsync(A/foo)")
+    assert set(oracle.state) >= {"", "A", "A/foo", "A/bar", "lnk"}
+    assert oracle.checkpoint_id == 1
+    assert oracle.crash_point == "fsync(A/foo)"
+
+
+def test_oracle_is_a_snapshot_not_a_view(fs):
+    oracle = Oracle.capture(fs, 1, "sync")
+    fs.creat("later")
+    assert not oracle.exists("later")
+
+
+def test_paths_of_ino_follows_hard_links(fs):
+    oracle = Oracle.capture(fs, 1, "sync")
+    ino = oracle.lookup("A/foo").ino
+    assert oracle.paths_of_ino(ino) == ["A/bar", "A/foo"]
+
+
+def test_files_and_directories_partition(fs):
+    oracle = Oracle.capture(fs, 1, "sync")
+    assert "A/foo" in oracle.files()
+    assert "A" in oracle.directories()
+    assert "A" not in oracle.files()
+
+
+def test_lookup_missing_path_returns_none(fs):
+    oracle = Oracle.capture(fs, 1, "sync")
+    assert oracle.lookup("ghost") is None
+    assert not oracle.exists("ghost")
+
+
+def test_describe_lists_entries(fs):
+    oracle = Oracle.capture(fs, 2, "fsync(A)")
+    text = oracle.describe()
+    assert "checkpoint 2" in text
+    assert "A/foo" in text

@@ -1,0 +1,76 @@
+"""WorkloadRecorder (profiling phase): oracles, tracker views, I/O log."""
+
+import pytest
+
+from repro.crashmonkey import WorkloadRecorder
+from repro.fs import BugConfig
+from repro.workload import parse_workload
+
+from conftest import SMALL_DEVICE_BLOCKS
+
+
+@pytest.fixture
+def recorder():
+    return WorkloadRecorder("btrfs", BugConfig.none(), device_blocks=SMALL_DEVICE_BLOCKS)
+
+
+def _profile(recorder, text):
+    return recorder.profile(parse_workload(text))
+
+
+class TestProfiling:
+    def test_one_checkpoint_per_persistence_point(self, recorder):
+        profile = _profile(recorder, "creat foo\nfsync foo\ncreat bar\nsync\nwrite foo 0 100\nfsync foo")
+        assert profile.num_checkpoints == 3
+        assert profile.checkpoints() == [1, 2, 3]
+        assert set(profile.oracles) == {1, 2, 3}
+        assert set(profile.tracker_views) == {1, 2, 3}
+
+    def test_oracle_reflects_state_at_its_checkpoint(self, recorder):
+        profile = _profile(recorder, "creat foo\nfsync foo\ncreat bar\nsync")
+        assert "bar" not in profile.oracles[1].state
+        assert "bar" in profile.oracles[2].state
+
+    def test_io_log_contains_checkpoint_markers(self, recorder):
+        profile = _profile(recorder, "creat foo\nfsync foo")
+        markers = [request for request in profile.io_log if request.is_checkpoint]
+        assert len(markers) == 1
+        assert markers[-1].seq == max(request.seq for request in profile.io_log)
+
+    def test_base_image_is_the_pre_workload_state(self, recorder):
+        profile = _profile(recorder, "creat foo\nwrite foo 0 4096\nsync")
+        # The base image is a freshly formatted file system: mounting it gives
+        # an empty root.
+        from repro.fs import LogFS
+
+        fs = LogFS(profile.base_image.copy(), BugConfig.none())
+        fs.mount()
+        assert fs.listdir("") == []
+
+    def test_unmount_io_is_not_recorded(self, recorder):
+        profile = _profile(recorder, "creat foo\nfsync foo")
+        # The last recorded request must be the checkpoint marker, not the
+        # safe-unmount checkpoint writes.
+        assert profile.io_log[-1].is_checkpoint
+
+    def test_profiles_are_independent(self, recorder):
+        first = _profile(recorder, "creat one\nsync")
+        second = _profile(recorder, "creat two\nsync")
+        assert "one" in first.oracles[1].state
+        assert "one" not in second.oracles[1].state
+
+    def test_execution_statistics(self, recorder):
+        profile = _profile(recorder, "unlink ghost\ncreat foo\nfsync foo")
+        assert profile.executed_ops == 2
+        assert profile.skipped_ops == 1
+        assert profile.recorded_bytes > 0
+        assert profile.profile_seconds > 0
+
+    def test_fs_name_aliases_resolve(self):
+        recorder = WorkloadRecorder("BTRFS", device_blocks=SMALL_DEVICE_BLOCKS)
+        assert recorder.fs_name == "logfs"
+        assert recorder.fs_model == "btrfs"
+
+    def test_default_bug_config_is_all_applicable(self):
+        recorder = WorkloadRecorder("f2fs", device_blocks=SMALL_DEVICE_BLOCKS)
+        assert len(recorder.bugs) > 0

@@ -1,0 +1,78 @@
+"""Crash-state generation and mounting."""
+
+import pytest
+
+from repro.crashmonkey import CrashStateGenerator, WorkloadRecorder
+from repro.fs import BugConfig
+from repro.workload import parse_workload
+
+from conftest import SMALL_DEVICE_BLOCKS
+
+
+def _profile(text, fs_name="btrfs", bugs=BugConfig.none()):
+    recorder = WorkloadRecorder(fs_name, bugs, device_blocks=SMALL_DEVICE_BLOCKS)
+    return recorder.profile(parse_workload(text))
+
+
+class TestCrashStates:
+    def test_each_checkpoint_yields_a_mountable_state_on_patched_fs(self):
+        profile = _profile("creat foo\nwrite foo 0 4096\nfsync foo\nrename foo bar\nfsync bar")
+        generator = CrashStateGenerator(profile)
+        states = list(generator.generate_all())
+        assert len(states) == 2
+        assert all(state.mountable for state in states)
+
+    def test_crash_state_reflects_only_the_prefix(self):
+        profile = _profile("creat foo\nfsync foo\ncreat bar\nsync")
+        generator = CrashStateGenerator(profile)
+        first = generator.generate(1)
+        second = generator.generate(2)
+        assert first.fs.exists("foo")
+        assert not first.fs.exists("bar")
+        assert second.fs.exists("bar")
+
+    def test_unpersisted_tail_is_absent(self):
+        profile = _profile("creat foo\nfsync foo\ncreat never-persisted\ncreat x\nfsync x")
+        generator = CrashStateGenerator(profile)
+        state = generator.generate(1)
+        assert not state.fs.exists("never-persisted")
+
+    def test_unmountable_state_gets_fsck_report(self):
+        # Figure-1 workload on the buggy btrfs-like file system.
+        profile = _profile(
+            "creat foo\nlink foo bar\nsync\nunlink bar\ncreat bar\nfsync bar",
+            bugs=None,
+        )
+        generator = CrashStateGenerator(profile)
+        state = generator.generate(2)
+        assert not state.mountable
+        assert state.mount_error is not None
+        assert state.fsck_report is not None
+        assert state.fsck_report.repaired
+        assert state.fsck_recovered_fs is not None
+
+    def test_fsck_can_be_disabled(self):
+        profile = _profile(
+            "creat foo\nlink foo bar\nsync\nunlink bar\ncreat bar\nfsync bar",
+            bugs=None,
+        )
+        generator = CrashStateGenerator(profile, run_fsck_on_failure=False)
+        state = generator.generate(2)
+        assert not state.mountable
+        assert state.fsck_report is None
+
+    def test_overlay_accounting_is_positive(self):
+        profile = _profile("creat foo\nwrite foo 0 65536\nsync")
+        state = CrashStateGenerator(profile).generate(1)
+        assert state.overlay_bytes > 0
+        assert state.replay_seconds >= 0
+
+    def test_describe_mentions_mountability(self):
+        profile = _profile("creat foo\nfsync foo")
+        state = CrashStateGenerator(profile).generate(1)
+        assert "mounted" in state.describe()
+
+    def test_unknown_checkpoint_raises(self):
+        profile = _profile("creat foo\nfsync foo")
+        with pytest.raises(ValueError):
+            CrashStateGenerator(profile).generate(7)

@@ -1,0 +1,321 @@
+"""POSIX-style operation semantics of the simulated file systems.
+
+These tests exercise the in-memory behaviour of the operations (the part a
+user of the simulated file system observes while it is mounted); crash and
+recovery behaviour is covered separately.
+"""
+
+import pytest
+
+from repro.errors import (
+    FsExistsError,
+    FsInvalidArgumentError,
+    FsIsADirectoryError,
+    FsNoEntryError,
+    FsNotADirectoryError,
+    FsNotEmptyError,
+    FsNotMountedError,
+)
+from repro.fs import BugConfig, LogFS
+from repro.storage import BLOCK_SIZE, BlockDevice
+
+from conftest import make_mounted_fs
+
+
+@pytest.fixture
+def fs(any_patched_fs):
+    return any_patched_fs
+
+
+class TestNamespaceOps:
+    def test_creat_and_exists(self, fs):
+        fs.creat("foo")
+        assert fs.exists("foo")
+        assert fs.stat("foo").ftype == "file"
+        assert fs.stat("foo").size == 0
+
+    def test_creat_existing_file_is_idempotent(self, fs):
+        first = fs.creat("foo")
+        second = fs.creat("foo")
+        assert first == second
+
+    def test_creat_over_directory_fails(self, fs):
+        fs.mkdir("A")
+        with pytest.raises(FsIsADirectoryError):
+            fs.creat("A")
+
+    def test_mkdir_and_listdir(self, fs):
+        fs.mkdir("A")
+        fs.creat("A/foo")
+        fs.creat("A/bar")
+        assert fs.listdir("A") == ["bar", "foo"]
+
+    def test_mkdir_existing_fails(self, fs):
+        fs.mkdir("A")
+        with pytest.raises(FsExistsError):
+            fs.mkdir("A")
+
+    def test_mkdir_parents(self, fs):
+        fs.mkdir("A/B/C", parents=True)
+        assert fs.exists("A/B/C")
+        assert fs.stat("A/B").ftype == "dir"
+
+    def test_mkdir_missing_parent_fails(self, fs):
+        with pytest.raises(FsNoEntryError):
+            fs.mkdir("missing/child")
+
+    def test_unlink_removes_file(self, fs):
+        fs.creat("foo")
+        fs.unlink("foo")
+        assert not fs.exists("foo")
+
+    def test_unlink_missing_fails(self, fs):
+        with pytest.raises(FsNoEntryError):
+            fs.unlink("ghost")
+
+    def test_unlink_directory_fails(self, fs):
+        fs.mkdir("A")
+        with pytest.raises(FsIsADirectoryError):
+            fs.unlink("A")
+
+    def test_rmdir_requires_empty(self, fs):
+        fs.mkdir("A")
+        fs.creat("A/foo")
+        with pytest.raises(FsNotEmptyError):
+            fs.rmdir("A")
+        fs.unlink("A/foo")
+        fs.rmdir("A")
+        assert not fs.exists("A")
+
+    def test_rmdir_of_file_fails(self, fs):
+        fs.creat("foo")
+        with pytest.raises(FsNotADirectoryError):
+            fs.rmdir("foo")
+
+    def test_remove_dispatches_on_type(self, fs):
+        fs.creat("foo")
+        fs.mkdir("A")
+        fs.remove("foo")
+        fs.remove("A")
+        assert not fs.exists("foo") and not fs.exists("A")
+
+    def test_root_cannot_be_removed(self, fs):
+        with pytest.raises(FsInvalidArgumentError):
+            fs.rmdir("")
+
+
+class TestLinks:
+    def test_link_shares_content_and_bumps_nlink(self, fs):
+        fs.creat("foo")
+        fs.write("foo", 0, b"shared")
+        fs.link("foo", "bar")
+        assert fs.read("bar") == b"shared"
+        assert fs.stat("foo").nlink == 2
+        assert fs.stat("foo").ino == fs.stat("bar").ino
+
+    def test_link_to_existing_name_fails(self, fs):
+        fs.creat("foo")
+        fs.creat("bar")
+        with pytest.raises(FsExistsError):
+            fs.link("foo", "bar")
+
+    def test_link_to_directory_fails(self, fs):
+        fs.mkdir("A")
+        with pytest.raises(FsIsADirectoryError):
+            fs.link("A", "B")
+
+    def test_unlink_one_name_keeps_the_other(self, fs):
+        fs.creat("foo")
+        fs.write("foo", 0, b"data")
+        fs.link("foo", "bar")
+        fs.unlink("foo")
+        assert not fs.exists("foo")
+        assert fs.read("bar") == b"data"
+        assert fs.stat("bar").nlink == 1
+
+    def test_symlink_reports_target(self, fs):
+        fs.mkdir("A")
+        fs.symlink("foo", "A/bar")
+        assert fs.readlink("A/bar") == "foo"
+        assert fs.stat("A/bar").ftype == "symlink"
+
+    def test_readlink_of_regular_file_fails(self, fs):
+        fs.creat("foo")
+        with pytest.raises(FsInvalidArgumentError):
+            fs.readlink("foo")
+
+    def test_paths_of_inode_lists_all_hard_links(self, fs):
+        fs.mkdir("A")
+        fs.creat("A/foo")
+        fs.link("A/foo", "A/bar")
+        fs.link("A/foo", "baz")
+        assert fs.paths_of_inode("A/foo") == ["A/bar", "A/foo", "baz"]
+
+
+class TestRename:
+    def test_rename_moves_file(self, fs):
+        fs.mkdir("A")
+        fs.mkdir("B")
+        fs.creat("A/foo")
+        fs.write("A/foo", 0, b"content")
+        fs.rename("A/foo", "B/bar")
+        assert not fs.exists("A/foo")
+        assert fs.read("B/bar") == b"content"
+
+    def test_rename_overwrites_existing_file(self, fs):
+        fs.creat("foo")
+        fs.write("foo", 0, b"new")
+        fs.creat("bar")
+        fs.write("bar", 0, b"old")
+        fs.rename("foo", "bar")
+        assert fs.read("bar") == b"new"
+        assert not fs.exists("foo")
+
+    def test_rename_directory_onto_nonempty_directory_fails(self, fs):
+        fs.mkdir("A")
+        fs.mkdir("B")
+        fs.creat("B/foo")
+        with pytest.raises(FsNotEmptyError):
+            fs.rename("A", "B")
+
+    def test_rename_directory_onto_empty_directory(self, fs):
+        fs.mkdir("A")
+        fs.creat("A/foo")
+        fs.mkdir("B")
+        fs.rename("A", "B")
+        assert fs.exists("B/foo")
+        assert not fs.exists("A")
+
+    def test_rename_file_onto_directory_fails(self, fs):
+        fs.creat("foo")
+        fs.mkdir("A")
+        with pytest.raises(FsIsADirectoryError):
+            fs.rename("foo", "A")
+
+    def test_rename_missing_source_fails(self, fs):
+        with pytest.raises(FsNoEntryError):
+            fs.rename("ghost", "foo")
+
+    def test_rename_to_same_path_is_a_noop(self, fs):
+        fs.creat("foo")
+        fs.write("foo", 0, b"abc")
+        fs.rename("foo", "foo")
+        assert fs.read("foo") == b"abc"
+
+
+class TestDataOps:
+    def test_write_and_read_back(self, fs):
+        fs.creat("foo")
+        fs.write("foo", 0, b"hello world")
+        assert fs.read("foo") == b"hello world"
+        assert fs.stat("foo").size == 11
+
+    def test_write_at_offset_leaves_hole_of_zeros(self, fs):
+        fs.creat("foo")
+        fs.write("foo", 10, b"xy")
+        data = fs.read("foo")
+        assert data[:10] == bytes(10)
+        assert data[10:] == b"xy"
+
+    def test_overwrite_in_the_middle(self, fs):
+        fs.creat("foo")
+        fs.write("foo", 0, b"a" * 20)
+        fs.write("foo", 5, b"BBBBB")
+        assert fs.read("foo") == b"aaaaa" + b"BBBBB" + b"a" * 10
+
+    def test_write_creates_missing_file(self, fs):
+        fs.write("foo", 0, b"auto")
+        assert fs.read("foo") == b"auto"
+
+    def test_write_to_directory_fails(self, fs):
+        fs.mkdir("A")
+        with pytest.raises(FsIsADirectoryError):
+            fs.write("A", 0, b"nope")
+
+    def test_dwrite_hits_the_device_immediately(self, fs):
+        fs.creat("foo")
+        fs.dwrite("foo", 0, b"direct" * 100)
+        state = fs.stat("foo")
+        assert state.size == 600
+        # Direct I/O allocated on-device blocks for the written range.
+        assert fs.inodes[state.ino].block_map
+
+    def test_truncate_shrinks_and_grows(self, fs):
+        fs.creat("foo")
+        fs.write("foo", 0, b"0123456789")
+        fs.truncate("foo", 4)
+        assert fs.read("foo") == b"0123"
+        fs.truncate("foo", 8)
+        assert fs.read("foo") == b"0123" + bytes(4)
+
+    def test_falloc_keep_size_reserves_blocks_without_growing(self, fs):
+        fs.creat("foo")
+        fs.write("foo", 0, b"x" * BLOCK_SIZE)
+        fs.falloc("foo", BLOCK_SIZE, BLOCK_SIZE, keep_size=True)
+        state = fs.stat("foo")
+        assert state.size == BLOCK_SIZE
+        assert state.allocated_blocks == 2
+
+    def test_falloc_without_keep_size_extends(self, fs):
+        fs.creat("foo")
+        fs.falloc("foo", 0, 2 * BLOCK_SIZE, keep_size=False)
+        assert fs.stat("foo").size == 2 * BLOCK_SIZE
+
+    def test_fzero_zeroes_a_range(self, fs):
+        fs.creat("foo")
+        fs.write("foo", 0, b"a" * 100)
+        fs.fzero("foo", 10, 20)
+        data = fs.read("foo")
+        assert data[10:30] == bytes(20)
+        assert data[:10] == b"a" * 10
+
+    def test_fpunch_zeroes_without_changing_size(self, fs):
+        fs.creat("foo")
+        fs.write("foo", 0, b"b" * 100)
+        fs.fpunch("foo", 50, 1000)
+        assert fs.stat("foo").size == 100
+        assert fs.read("foo")[50:] == bytes(50)
+
+    def test_mwrite_requires_mapped_range(self, fs):
+        fs.creat("foo")
+        fs.write("foo", 0, b"c" * 100)
+        fs.mwrite("foo", 0, b"MM")
+        assert fs.read("foo")[:2] == b"MM"
+        with pytest.raises(FsInvalidArgumentError):
+            fs.mwrite("foo", 90, b"x" * 20)
+
+    def test_xattr_set_get_remove(self, fs):
+        fs.creat("foo")
+        fs.setxattr("foo", "user.one", b"1")
+        assert fs.getxattr("foo", "user.one") == b"1"
+        fs.removexattr("foo", "user.one")
+        with pytest.raises(FsNoEntryError):
+            fs.getxattr("foo", "user.one")
+
+    def test_removexattr_missing_fails(self, fs):
+        fs.creat("foo")
+        with pytest.raises(FsNoEntryError):
+            fs.removexattr("foo", "user.ghost")
+
+
+class TestMountRequirements:
+    def test_operations_require_a_mounted_fs(self):
+        device = BlockDevice(4096)
+        LogFS.mkfs(device, BugConfig.none())
+        fs = LogFS(device, BugConfig.none())
+        with pytest.raises(FsNotMountedError):
+            fs.creat("foo")
+
+    def test_unmount_then_operation_fails(self):
+        fs, _, _ = make_mounted_fs("logfs", BugConfig.none())
+        fs.unmount()
+        with pytest.raises(FsNotMountedError):
+            fs.mkdir("A")
+
+    def test_logical_state_includes_all_paths(self, fs):
+        fs.mkdir("A")
+        fs.creat("A/foo")
+        fs.creat("bar")
+        state = fs.logical_state()
+        assert set(state) >= {"", "A", "A/foo", "bar"}
+        assert state["A"].children == ("foo",)

@@ -1,0 +1,131 @@
+"""On-disk layout: superblock, checkpoints, log, allocator."""
+
+import pytest
+
+from repro.errors import CorruptionError, FsNoSpaceError
+from repro.fs import layout
+from repro.storage import BlockDevice
+
+
+@pytest.fixture
+def device():
+    return BlockDevice(4096)
+
+
+class TestSuperblock:
+    def test_round_trip(self, device):
+        superblock = layout.Superblock(fs_type="logfs", generation=3, checkpoint_area="B",
+                                       checkpoint_blocks=2, clean_unmount=False)
+        layout.write_superblock(device, superblock)
+        loaded = layout.read_superblock(device)
+        assert loaded.fs_type == "logfs"
+        assert loaded.generation == 3
+        assert loaded.checkpoint_area == "B"
+        assert loaded.checkpoint_blocks == 2
+        assert loaded.clean_unmount is False
+
+    def test_unformatted_device_raises(self, device):
+        with pytest.raises(CorruptionError):
+            layout.read_superblock(device)
+
+    def test_bad_magic_raises(self):
+        with pytest.raises(CorruptionError):
+            layout.Superblock.from_json({"magic": "NOT-A-FS"})
+
+
+class TestCheckpoint:
+    def test_small_checkpoint_round_trip(self, device):
+        payload = {"inodes": {"1": {"ino": 1, "ftype": "dir"}}, "next_ino": 2}
+        blocks = layout.write_checkpoint(device, payload, generation=1, area="A")
+        superblock = layout.Superblock(generation=1, checkpoint_area="A", checkpoint_blocks=blocks)
+        assert layout.read_checkpoint(device, superblock) == payload
+
+    def test_multi_block_checkpoint(self, device):
+        payload = {"big": "x" * 20000}
+        blocks = layout.write_checkpoint(device, payload, generation=2, area="B")
+        assert blocks > 1
+        superblock = layout.Superblock(generation=2, checkpoint_area="B", checkpoint_blocks=blocks)
+        assert layout.read_checkpoint(device, superblock) == payload
+
+    def test_generation_mismatch_is_rejected(self, device):
+        blocks = layout.write_checkpoint(device, {"a": 1}, generation=1, area="A")
+        superblock = layout.Superblock(generation=9, checkpoint_area="A", checkpoint_blocks=blocks)
+        assert layout.read_checkpoint(device, superblock) is None
+
+    def test_alternating_areas_do_not_clobber_each_other(self, device):
+        blocks_a = layout.write_checkpoint(device, {"gen": 1}, generation=1, area="A")
+        blocks_b = layout.write_checkpoint(device, {"gen": 2}, generation=2, area="B")
+        sb_a = layout.Superblock(generation=1, checkpoint_area="A", checkpoint_blocks=blocks_a)
+        sb_b = layout.Superblock(generation=2, checkpoint_area="B", checkpoint_blocks=blocks_b)
+        assert layout.read_checkpoint(device, sb_a) == {"gen": 1}
+        assert layout.read_checkpoint(device, sb_b) == {"gen": 2}
+
+    def test_oversized_checkpoint_raises(self, device):
+        huge = {"data": "y" * (layout.CHECKPOINT_AREA_BLOCKS * 4096)}
+        with pytest.raises(FsNoSpaceError):
+            layout.write_checkpoint(device, huge, generation=1, area="A")
+
+    def test_empty_checkpoint_pointer_reads_none(self, device):
+        superblock = layout.Superblock(checkpoint_blocks=0)
+        assert layout.read_checkpoint(device, superblock) is None
+
+
+class TestLog:
+    def test_entries_are_returned_in_append_order(self, device):
+        next_block = layout.LOG_START
+        for seq in range(1, 4):
+            next_block = layout.write_log_entry(
+                device, {"seq_payload": seq}, generation=1, seq=seq, next_log_block=next_block
+            )
+        entries = layout.read_log_entries(device, generation=1)
+        assert [entry["seq_payload"] for entry in entries] == [1, 2, 3]
+
+    def test_entries_of_other_generations_are_ignored(self, device):
+        layout.write_log_entry(device, {"old": True}, generation=1, seq=1,
+                               next_log_block=layout.LOG_START)
+        assert layout.read_log_entries(device, generation=2) == []
+
+    def test_scan_stops_at_first_invalid_block(self, device):
+        next_block = layout.write_log_entry(device, {"n": 1}, generation=1, seq=1,
+                                            next_log_block=layout.LOG_START)
+        # A gap: an entry written further ahead is unreachable by the scan.
+        layout.write_log_entry(device, {"n": 3}, generation=1, seq=3, next_log_block=next_block + 2)
+        entries = layout.read_log_entries(device, generation=1)
+        assert [entry["n"] for entry in entries] == [1]
+
+    def test_log_area_exhaustion_raises(self, device):
+        with pytest.raises(FsNoSpaceError):
+            layout.write_log_entry(device, {"x": 1}, generation=1, seq=1,
+                                   next_log_block=layout.LOG_START + layout.LOG_BLOCKS)
+
+    def test_multi_block_log_entry(self, device):
+        entry = {"blob": "z" * 12000}
+        next_block = layout.write_log_entry(device, entry, generation=1, seq=1,
+                                            next_log_block=layout.LOG_START)
+        assert next_block - layout.LOG_START > 1
+        assert layout.read_log_entries(device, generation=1) == [entry]
+
+
+class TestAllocator:
+    def test_allocates_monotonically_from_data_start(self):
+        allocator = layout.DataAllocator(4096)
+        first = allocator.allocate(2)
+        second = allocator.allocate(1)
+        assert first == [layout.DATA_START, layout.DATA_START + 1]
+        assert second == [layout.DATA_START + 2]
+
+    def test_exhaustion_raises(self):
+        allocator = layout.DataAllocator(layout.DATA_START + 2)
+        allocator.allocate(2)
+        with pytest.raises(FsNoSpaceError):
+            allocator.allocate(1)
+
+    def test_serialization_round_trip(self):
+        allocator = layout.DataAllocator(4096)
+        allocator.allocate(5)
+        restored = layout.DataAllocator.from_json(4096, allocator.to_json())
+        assert restored.next_block == allocator.next_block
+
+    def test_from_json_with_missing_payload_uses_data_start(self):
+        allocator = layout.DataAllocator.from_json(4096, None)
+        assert allocator.next_block == layout.DATA_START

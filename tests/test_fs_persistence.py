@@ -1,0 +1,160 @@
+"""Persistence, crash and recovery behaviour of the (patched) file systems.
+
+The patched configurations must recover exactly what they persisted: these
+tests build crash states by replaying the recorded I/O and verify the
+recovered state, per file system.
+"""
+
+import pytest
+
+from repro.fs import BugConfig, get_fs_class
+from repro.storage import BLOCK_SIZE, replay_until_checkpoint
+
+from conftest import SMALL_DEVICE_BLOCKS, make_mounted_fs
+
+ALL_FS = ["logfs", "seqfs", "flashfs", "verifs"]
+
+
+def crash_and_recover(fs_name, fs, recording, base_image, checkpoint):
+    """Build the crash state for ``checkpoint`` and mount a fresh instance."""
+    device = replay_until_checkpoint(base_image, recording.log, checkpoint)
+    recovered = get_fs_class(fs_name)(device, BugConfig.none())
+    recovered.mount()
+    return recovered
+
+
+@pytest.mark.parametrize("fs_name", ALL_FS)
+class TestRecoveryAfterPersistence:
+    def test_fsync_persists_file_data_and_name(self, fs_name):
+        fs, recording, base = make_mounted_fs(fs_name, BugConfig.none())
+        fs.mkdir("A")
+        fs.creat("A/foo")
+        fs.write("A/foo", 0, b"payload" * 50)
+        fs.fsync("A/foo")
+        cp = recording.mark_checkpoint()
+        recovered = crash_and_recover(fs_name, fs, recording, base, cp)
+        assert recovered.read("A/foo") == b"payload" * 50
+        assert recovered.stat("A/foo").size == 350
+
+    def test_sync_persists_everything(self, fs_name):
+        fs, recording, base = make_mounted_fs(fs_name, BugConfig.none())
+        fs.mkdir("A")
+        fs.mkdir("B")
+        fs.creat("A/one")
+        fs.write("A/one", 0, b"1" * 10)
+        fs.creat("B/two")
+        fs.setxattr("B/two", "user.k", b"v")
+        fs.sync()
+        cp = recording.mark_checkpoint()
+        recovered = crash_and_recover(fs_name, fs, recording, base, cp)
+        assert recovered.read("A/one") == b"1" * 10
+        assert recovered.getxattr("B/two", "user.k") == b"v"
+        assert recovered.listdir("") == ["A", "B"]
+
+    def test_unpersisted_changes_after_last_checkpoint_are_not_in_crash_state(self, fs_name):
+        fs, recording, base = make_mounted_fs(fs_name, BugConfig.none())
+        fs.creat("foo")
+        fs.write("foo", 0, b"persisted")
+        fs.fsync("foo")
+        cp = recording.mark_checkpoint()
+        fs.write("foo", 0, b"NOT-SAVED")
+        fs.creat("ghost")
+        recovered = crash_and_recover(fs_name, fs, recording, base, cp)
+        assert recovered.read("foo") == b"persisted"
+        assert not recovered.exists("ghost")
+
+    def test_fdatasync_persists_data_and_size(self, fs_name):
+        fs, recording, base = make_mounted_fs(fs_name, BugConfig.none())
+        fs.creat("foo")
+        fs.write("foo", 0, b"a" * BLOCK_SIZE)
+        fs.sync()
+        recording.mark_checkpoint()
+        fs.write("foo", BLOCK_SIZE, b"b" * BLOCK_SIZE)
+        fs.fdatasync("foo")
+        cp = recording.mark_checkpoint()
+        recovered = crash_and_recover(fs_name, fs, recording, base, cp)
+        assert recovered.stat("foo").size == 2 * BLOCK_SIZE
+        assert recovered.read("foo") == b"a" * BLOCK_SIZE + b"b" * BLOCK_SIZE
+
+    def test_rename_persisted_by_fsync_of_renamed_file(self, fs_name):
+        fs, recording, base = make_mounted_fs(fs_name, BugConfig.none())
+        fs.mkdir("A")
+        fs.creat("A/foo")
+        fs.write("A/foo", 0, b"data")
+        fs.sync()
+        recording.mark_checkpoint()
+        fs.rename("A/foo", "A/bar")
+        fs.fsync("A/bar")
+        cp = recording.mark_checkpoint()
+        recovered = crash_and_recover(fs_name, fs, recording, base, cp)
+        assert recovered.read("A/bar") == b"data"
+        # The old name must not linger as a second copy of the same inode.
+        if recovered.exists("A/foo"):
+            assert recovered.stat("A/foo").ino != recovered.stat("A/bar").ino
+
+    def test_recovery_runs_only_for_unclean_images(self, fs_name):
+        fs, recording, base = make_mounted_fs(fs_name, BugConfig.none())
+        fs.creat("foo")
+        fs.fsync("foo")
+        cp = recording.mark_checkpoint()
+        device = replay_until_checkpoint(base, recording.log, cp)
+        recovered = get_fs_class(fs_name)(device, BugConfig.none())
+        recovered.mount()
+        assert recovered.recovery_ran or fs_name in ("verifs",)
+
+    def test_safe_unmount_and_remount_preserves_state(self, fs_name):
+        fs, recording, base = make_mounted_fs(fs_name, BugConfig.none())
+        fs.mkdir("A")
+        fs.creat("A/foo")
+        fs.write("A/foo", 0, b"x" * 123)
+        fs.unmount(safe=True)
+        remounted = get_fs_class(fs_name)(recording, BugConfig.none())
+        remounted.mount()
+        assert remounted.read("A/foo") == b"x" * 123
+        assert not remounted.recovery_ran
+
+    def test_hard_links_persisted_by_fsync(self, fs_name):
+        fs, recording, base = make_mounted_fs(fs_name, BugConfig.none())
+        fs.mkdir("A")
+        fs.mkdir("B")
+        fs.creat("A/foo")
+        fs.write("A/foo", 0, b"linked")
+        fs.link("A/foo", "B/foo")
+        fs.fsync("A/foo")
+        cp = recording.mark_checkpoint()
+        recovered = crash_and_recover(fs_name, fs, recording, base, cp)
+        assert recovered.read("A/foo") == b"linked"
+        assert recovered.read("B/foo") == b"linked"
+        assert recovered.stat("A/foo").ino == recovered.stat("B/foo").ino
+
+    def test_logical_state_matches_after_sync_crash(self, fs_name):
+        fs, recording, base = make_mounted_fs(fs_name, BugConfig.none())
+        fs.mkdir("A")
+        fs.creat("A/foo")
+        fs.write("A/foo", 0, b"z" * 100)
+        fs.symlink("A/foo", "lnk")
+        fs.sync()
+        cp = recording.mark_checkpoint()
+        expected = fs.logical_state()
+        recovered = crash_and_recover(fs_name, fs, recording, base, cp)
+        actual = recovered.logical_state()
+        assert set(expected) == set(actual)
+        for path, state in expected.items():
+            assert actual[path].ftype == state.ftype
+            assert actual[path].size == state.size
+            assert actual[path].data_hash == state.data_hash
+
+
+@pytest.mark.parametrize("fs_name", ALL_FS)
+def test_mkfs_produces_clean_empty_image(fs_name):
+    from repro.storage import BlockDevice
+    from repro.fs import layout
+
+    device = BlockDevice(SMALL_DEVICE_BLOCKS)
+    get_fs_class(fs_name).mkfs(device, BugConfig.none())
+    superblock = layout.read_superblock(device)
+    assert superblock.clean_unmount
+    assert superblock.generation == 1
+    fs = get_fs_class(fs_name)(device, BugConfig.none())
+    fs.mount()
+    assert fs.listdir("") == []

@@ -1,0 +1,81 @@
+"""File-system registry, aliases, and the error hierarchy."""
+
+import pytest
+
+from repro import errors
+from repro.fs import (
+    FILESYSTEMS,
+    MODELS,
+    available_filesystems,
+    default_bugs,
+    get_fs_class,
+    make_fs,
+    models,
+    patched_bugs,
+    resolve_fs_name,
+)
+from repro.storage import BlockDevice
+
+
+class TestRegistry:
+    def test_four_filesystems_are_registered(self):
+        assert available_filesystems() == ["flashfs", "logfs", "seqfs", "verifs"]
+
+    def test_paper_names_resolve_to_simulators(self):
+        assert resolve_fs_name("btrfs") == "logfs"
+        assert resolve_fs_name("EXT4") == "seqfs"
+        assert resolve_fs_name("xfs") == "seqfs"
+        assert resolve_fs_name("f2fs") == "flashfs"
+        assert resolve_fs_name("FSCQ") == "verifs"
+
+    def test_simulator_names_resolve_to_themselves(self):
+        for name in FILESYSTEMS:
+            assert resolve_fs_name(name) == name
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError):
+            resolve_fs_name("ntfs")
+
+    def test_models_maps_back_to_real_names(self):
+        assert models("logfs") == "btrfs"
+        assert models("btrfs") == "btrfs"
+        assert set(MODELS.values()) == {"btrfs", "ext4", "F2FS", "FSCQ"}
+
+    def test_get_fs_class_and_make_fs(self):
+        device = BlockDevice(4096)
+        fs = make_fs("btrfs", device)
+        assert isinstance(fs, get_fs_class("logfs"))
+        assert fs.fs_type == "logfs"
+        assert not fs.mounted
+
+    def test_default_bugs_are_nonempty_and_patched_are_empty(self):
+        for name in available_filesystems():
+            assert len(default_bugs(name)) > 0
+            assert len(patched_bugs(name)) == 0
+
+    def test_each_fs_class_declares_its_type(self):
+        for name, cls in FILESYSTEMS.items():
+            assert cls.fs_type == name
+
+
+class TestErrorHierarchy:
+    def test_filesystem_errors_are_repro_errors(self):
+        assert issubclass(errors.FsNoEntryError, errors.FileSystemError)
+        assert issubclass(errors.FileSystemError, errors.ReproError)
+        assert issubclass(errors.StorageError, errors.ReproError)
+
+    def test_unmountable_errors_carry_context(self):
+        exc = errors.RecoveryError("replay failed", fs_type="logfs", detail="duplicate removal")
+        assert isinstance(exc, errors.UnmountableError)
+        assert exc.fs_type == "logfs"
+        assert exc.detail == "duplicate removal"
+
+    def test_errno_names_are_posix_like(self):
+        assert errors.FsNoEntryError.errno_name == "ENOENT"
+        assert errors.FsExistsError.errno_name == "EEXIST"
+        assert errors.FsNotEmptyError.errno_name == "ENOTEMPTY"
+        assert errors.FsIsADirectoryError.errno_name == "EISDIR"
+
+    def test_workload_and_harness_errors(self):
+        assert issubclass(errors.WorkloadError, errors.ReproError)
+        assert issubclass(errors.HarnessError, errors.ReproError)

@@ -1,0 +1,92 @@
+"""Integration tests: the paper's headline results, end to end.
+
+These are the repository's "does it actually reproduce the paper" tests:
+every reproducible bug from the corpus must be found by the black-box
+pipeline on the buggy (default) file systems, and none of those workloads may
+be flagged on the patched file systems.
+"""
+
+import pytest
+
+from repro.core import all_bugs, get_bug, new_bugs
+from repro.crashmonkey import CrashMonkey
+from repro.fs import BugConfig, Consequence
+
+from conftest import SMALL_DEVICE_BLOCKS
+
+#: The two in-bounds bugs whose kernel-internal mechanism (inode-allocator
+#: collision, directory-index accounting on a second code path) is not
+#: modelled by the simulator; they are documented in EXPERIMENTS.md.
+NOT_MODELLED = {"known-6", "known-24"}
+
+REPRODUCIBLE = [
+    bug for bug in all_bugs()
+    if bug.reproducible_by_b3 and bug.bug_id not in NOT_MODELLED
+]
+
+
+def _test_bug(bug, fs_name, bugs=None):
+    harness = CrashMonkey(fs_name, bugs=bugs, device_blocks=SMALL_DEVICE_BLOCKS)
+    return harness.test_workload(bug.workload())
+
+
+@pytest.mark.parametrize("bug", REPRODUCIBLE, ids=[bug.bug_id for bug in REPRODUCIBLE])
+def test_bug_is_reproduced_on_its_buggy_filesystem(bug):
+    found = False
+    for fs_name in bug.simulator_filesystems():
+        result = _test_bug(bug, fs_name)
+        if not result.passed:
+            found = True
+    assert found, f"{bug.bug_id} not reproduced on {bug.filesystems}"
+
+
+@pytest.mark.parametrize("bug", REPRODUCIBLE, ids=[bug.bug_id for bug in REPRODUCIBLE])
+def test_bug_workload_passes_on_patched_filesystem(bug):
+    for fs_name in bug.simulator_filesystems():
+        result = _test_bug(bug, fs_name, bugs=BugConfig.none())
+        assert result.passed, f"patched {fs_name} flagged {bug.bug_id}"
+
+
+class TestHeadlineResults:
+    def test_figure1_bug_is_unmountable(self):
+        result = _test_bug(get_bug("known-5"), "logfs")
+        assert Consequence.UNMOUNTABLE in result.consequences()
+
+    def test_all_new_bugs_are_found(self):
+        found = 0
+        for bug in new_bugs():
+            for fs_name in bug.simulator_filesystems():
+                if not _test_bug(bug, fs_name).passed:
+                    found += 1
+                    break
+        assert found == 11
+
+    def test_rename_atomicity_bug_reports_both_locations(self):
+        result = _test_bug(get_bug("new-2"), "logfs")
+        assert Consequence.ATOMICITY in result.consequences()
+
+    def test_fscq_bug_is_data_loss_despite_fdatasync(self):
+        result = _test_bug(get_bug("new-11"), "verifs")
+        assert Consequence.DATA_LOSS in result.consequences()
+
+    def test_reproduction_rate_matches_paper(self):
+        """The paper reproduces 24/26 known bugs; we reproduce 22/26 (two are
+        out of B3's bounds, two rely on kernel internals we do not model)."""
+        reproduced = 0
+        for bug in all_bugs():
+            if bug.is_new or not bug.reproducible_by_b3:
+                continue
+            for fs_name in bug.simulator_filesystems():
+                if not _test_bug(bug, fs_name).passed:
+                    reproduced += 1
+                    break
+        assert reproduced >= 22
+
+    def test_btrfs_has_the_most_new_bugs(self):
+        by_fs = {"btrfs": 0, "F2FS": 0, "FSCQ": 0}
+        for bug in new_bugs():
+            for fs in bug.filesystems:
+                by_fs[fs] += 1
+        assert by_fs["btrfs"] == 8
+        assert by_fs["F2FS"] == 2
+        assert by_fs["FSCQ"] == 1

@@ -1,0 +1,224 @@
+"""Unit tests for the block device stack (RAM device, CoW snapshots, recorder)."""
+
+import pytest
+
+from repro.errors import InvalidBlockError
+from repro.storage import (
+    BLOCK_SIZE,
+    BlockDevice,
+    CowDevice,
+    IOKind,
+    RecordingDevice,
+    count_checkpoints,
+    replay_requests,
+    replay_until_checkpoint,
+    split_at_checkpoint,
+)
+
+
+class TestBlockDevice:
+    def test_unwritten_blocks_read_as_zero(self):
+        device = BlockDevice(16)
+        assert device.read_block(3) == bytes(BLOCK_SIZE)
+
+    def test_write_then_read_round_trips(self):
+        device = BlockDevice(16)
+        device.write_block(5, b"hello")
+        assert device.read_block(5)[:5] == b"hello"
+
+    def test_out_of_range_access_raises(self):
+        device = BlockDevice(4)
+        with pytest.raises(InvalidBlockError):
+            device.read_block(4)
+        with pytest.raises(InvalidBlockError):
+            device.write_block(-1, b"x")
+
+    def test_requires_at_least_one_block(self):
+        with pytest.raises(ValueError):
+            BlockDevice(0)
+
+    def test_discard_makes_block_zero_again(self):
+        device = BlockDevice(8)
+        device.write_block(2, b"data")
+        device.discard_block(2)
+        assert device.read_block(2) == bytes(BLOCK_SIZE)
+        assert device.used_blocks() == 0
+
+    def test_copy_is_independent(self):
+        device = BlockDevice(8)
+        device.write_block(1, b"one")
+        clone = device.copy()
+        clone.write_block(1, b"two")
+        assert device.read_block(1)[:3] == b"one"
+        assert clone.read_block(1)[:3] == b"two"
+
+    def test_content_equal_ignores_representation(self):
+        left = BlockDevice(8)
+        right = BlockDevice(8)
+        left.write_block(1, b"same")
+        right.write_block(1, b"same")
+        right.write_block(2, b"")  # an explicit zero block equals an absent one
+        assert left.content_equal(right)
+
+    def test_accounting_counters(self):
+        device = BlockDevice(8)
+        device.write_block(0, b"a")
+        device.write_block(1, b"b")
+        device.read_block(0)
+        device.flush()
+        assert device.writes == 2
+        assert device.reads == 1
+        assert device.flushes == 1
+        assert device.used_bytes() == 2 * BLOCK_SIZE
+
+
+class TestCowDevice:
+    def test_reads_fall_through_to_base(self):
+        base = BlockDevice(8)
+        base.write_block(3, b"base")
+        snap = CowDevice(base)
+        assert snap.read_block(3)[:4] == b"base"
+
+    def test_writes_do_not_touch_the_base(self):
+        base = BlockDevice(8)
+        base.write_block(3, b"base")
+        snap = CowDevice(base)
+        snap.write_block(3, b"snap")
+        assert base.read_block(3)[:4] == b"base"
+        assert snap.read_block(3)[:4] == b"snap"
+
+    def test_reset_reverts_to_base_image(self):
+        base = BlockDevice(8)
+        snap = CowDevice(base)
+        snap.write_block(1, b"tmp")
+        snap.reset()
+        assert snap.read_block(1) == bytes(BLOCK_SIZE)
+        assert snap.overlay_blocks() == 0
+
+    def test_snapshot_of_snapshot_is_independent(self):
+        base = BlockDevice(8)
+        first = CowDevice(base)
+        first.write_block(1, b"first")
+        second = first.snapshot()
+        second.write_block(1, b"second")
+        assert first.read_block(1)[:5] == b"first"
+        assert second.read_block(1)[:6] == b"second"
+
+    def test_materialize_produces_equivalent_plain_device(self):
+        base = BlockDevice(8)
+        base.write_block(0, b"zero")
+        snap = CowDevice(base)
+        snap.write_block(1, b"one")
+        flat = snap.materialize()
+        assert flat.read_block(0)[:4] == b"zero"
+        assert flat.read_block(1)[:3] == b"one"
+        assert snap.content_equal(flat)
+
+    def test_overlay_bytes_tracks_modified_blocks_only(self):
+        base = BlockDevice(64)
+        snap = CowDevice(base)
+        for block in range(5):
+            snap.write_block(block, b"x")
+        assert snap.overlay_bytes() == 5 * BLOCK_SIZE
+
+    def test_discard_shadows_base_content(self):
+        base = BlockDevice(8)
+        base.write_block(2, b"keep")
+        snap = CowDevice(base)
+        snap.discard_block(2)
+        assert snap.read_block(2) == bytes(BLOCK_SIZE)
+        assert base.read_block(2)[:4] == b"keep"
+
+
+class TestRecordingDevice:
+    def _recorder(self):
+        base = BlockDevice(16)
+        return RecordingDevice(CowDevice(base))
+
+    def test_writes_are_recorded_in_order(self):
+        recorder = self._recorder()
+        recorder.write_block(1, b"a")
+        recorder.write_block(2, b"b", metadata=True)
+        log = recorder.log
+        assert [request.block for request in log] == [1, 2]
+        assert log[0].is_write and not log[0].is_metadata
+        assert log[1].is_metadata
+
+    def test_checkpoint_markers_are_numbered(self):
+        recorder = self._recorder()
+        recorder.write_block(1, b"a")
+        first = recorder.mark_checkpoint()
+        recorder.write_block(2, b"b")
+        second = recorder.mark_checkpoint()
+        assert (first, second) == (1, 2)
+        assert count_checkpoints(recorder.log) == 2
+
+    def test_pause_stops_recording_but_not_io(self):
+        recorder = self._recorder()
+        recorder.write_block(1, b"a")
+        recorder.pause()
+        recorder.write_block(2, b"b")
+        assert len(recorder.log) == 1
+        assert recorder.read_block(2)[:1] == b"b"
+
+    def test_flush_is_recorded(self):
+        recorder = self._recorder()
+        recorder.flush(sync=True)
+        assert recorder.log[0].kind is IOKind.FLUSH
+
+    def test_writes_between_checkpoints(self):
+        recorder = self._recorder()
+        recorder.write_block(1, b"a")
+        recorder.write_block(2, b"b")
+        recorder.mark_checkpoint()
+        recorder.write_block(3, b"c")
+        recorder.mark_checkpoint()
+        assert recorder.writes_between_checkpoints() == [2, 1]
+
+    def test_recorded_bytes(self):
+        recorder = self._recorder()
+        recorder.write_block(1, b"a")
+        recorder.mark_checkpoint()
+        assert recorder.recorded_bytes() == BLOCK_SIZE
+
+
+class TestReplay:
+    def test_replay_until_checkpoint_reconstructs_prefix_state(self):
+        base = BlockDevice(16)
+        recorder = RecordingDevice(CowDevice(base))
+        recorder.write_block(1, b"first")
+        cp1 = recorder.mark_checkpoint()
+        recorder.write_block(1, b"second")
+        recorder.write_block(2, b"third")
+        cp2 = recorder.mark_checkpoint()
+
+        crash1 = replay_until_checkpoint(base, recorder.log, cp1)
+        crash2 = replay_until_checkpoint(base, recorder.log, cp2)
+        assert crash1.read_block(1)[:5] == b"first"
+        assert crash1.read_block(2) == bytes(BLOCK_SIZE)
+        assert crash2.read_block(1)[:6] == b"second"
+        assert crash2.read_block(2)[:5] == b"third"
+
+    def test_replay_does_not_modify_base(self):
+        base = BlockDevice(16)
+        recorder = RecordingDevice(CowDevice(base))
+        recorder.write_block(1, b"data")
+        cp = recorder.mark_checkpoint()
+        replay_until_checkpoint(base, recorder.log, cp)
+        assert base.read_block(1) == bytes(BLOCK_SIZE)
+
+    def test_unknown_checkpoint_raises(self):
+        base = BlockDevice(16)
+        recorder = RecordingDevice(CowDevice(base))
+        recorder.write_block(1, b"data")
+        with pytest.raises(ValueError):
+            split_at_checkpoint(list(recorder.log), 1)
+
+    def test_replay_requests_ignores_markers(self):
+        base = BlockDevice(16)
+        recorder = RecordingDevice(CowDevice(base))
+        recorder.flush()
+        recorder.write_block(4, b"x")
+        recorder.mark_checkpoint()
+        snapshot = replay_requests(base, recorder.log)
+        assert snapshot.read_block(4)[:1] == b"x"

@@ -1,0 +1,79 @@
+"""Property-based tests for the storage substrate (hypothesis)."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.storage import (
+    BLOCK_SIZE,
+    BlockDevice,
+    CowDevice,
+    RecordingDevice,
+    replay_requests,
+    replay_until_checkpoint,
+)
+
+#: A small write: (block number, payload).
+write_strategy = st.tuples(
+    st.integers(min_value=0, max_value=31),
+    st.binary(min_size=0, max_size=64),
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(writes=st.lists(write_strategy, max_size=40))
+def test_cow_snapshot_never_modifies_base(writes):
+    base = BlockDevice(32)
+    base.write_block(0, b"base-block")
+    before = {block: data for block, data in base.written_blocks()}
+    snapshot = CowDevice(base)
+    for block, payload in writes:
+        snapshot.write_block(block, payload)
+    after = {block: data for block, data in base.written_blocks()}
+    assert before == after
+
+
+@settings(max_examples=60, deadline=None)
+@given(writes=st.lists(write_strategy, max_size=40))
+def test_replaying_full_log_reproduces_device_contents(writes):
+    base = BlockDevice(32)
+    recorder = RecordingDevice(CowDevice(base))
+    for block, payload in writes:
+        recorder.write_block(block, payload)
+    recorder.mark_checkpoint()
+    replayed = replay_requests(base, recorder.log)
+    assert replayed.content_equal(recorder.target)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    groups=st.lists(st.lists(write_strategy, max_size=10), min_size=1, max_size=6),
+)
+def test_crash_state_at_checkpoint_k_only_reflects_prefix(groups):
+    """Replaying up to checkpoint k reproduces exactly the first k write groups."""
+    base = BlockDevice(32)
+    recorder = RecordingDevice(CowDevice(base))
+    checkpoints = []
+    for group in groups:
+        for block, payload in group:
+            recorder.write_block(block, payload)
+        checkpoints.append(recorder.mark_checkpoint())
+
+    # Reference devices built directly from the prefixes.
+    for index, checkpoint in enumerate(checkpoints):
+        reference = CowDevice(base)
+        for group in groups[: index + 1]:
+            for block, payload in group:
+                reference.write_block(block, payload)
+        crash_state = replay_until_checkpoint(base, recorder.log, checkpoint)
+        assert crash_state.content_equal(reference)
+
+
+@settings(max_examples=40, deadline=None)
+@given(writes=st.lists(write_strategy, min_size=1, max_size=30))
+def test_overlay_accounting_matches_distinct_blocks(writes):
+    base = BlockDevice(32)
+    snapshot = CowDevice(base)
+    for block, payload in writes:
+        snapshot.write_block(block, payload)
+    distinct = len({block for block, _ in writes})
+    assert snapshot.overlay_blocks() == distinct
+    assert snapshot.overlay_bytes() == distinct * BLOCK_SIZE

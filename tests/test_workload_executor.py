@@ -1,0 +1,121 @@
+"""Workload executor semantics."""
+
+import pytest
+
+from repro.errors import FsNoEntryError
+from repro.fs import BugConfig
+from repro.workload import OpKind, WorkloadExecutor, ops, parse_workload, payload_for
+from repro.workload.workload import make_workload
+
+from conftest import make_mounted_fs
+
+
+@pytest.fixture
+def fs():
+    filesystem, recording, base = make_mounted_fs("logfs", BugConfig.none())
+    return filesystem
+
+
+class TestPayload:
+    def test_deterministic(self):
+        assert payload_for(3, 100) == payload_for(3, 100)
+
+    def test_varies_with_op_index(self):
+        assert payload_for(1, 64) != payload_for(2, 64)
+
+    def test_length(self):
+        assert len(payload_for(0, 12345)) == 12345
+        assert payload_for(0, 0) == b""
+
+    def test_contains_no_zero_bytes(self):
+        # Zero bytes would be indistinguishable from holes.
+        assert 0 not in payload_for(5, 1024)
+
+
+class TestExecutor:
+    def test_runs_every_operation_kind(self, fs):
+        text = """
+        mkdir A
+        creat A/foo
+        write A/foo 0 8192
+        dwrite A/foo 0 4096
+        mwrite A/foo 0 4096
+        falloc A/foo 8192 4096 keep_size
+        fzero A/foo 0 1024
+        fpunch A/foo 1024 1024
+        truncate A/foo 6000
+        setxattr A/foo user.k v
+        removexattr A/foo user.k
+        link A/foo A/bar
+        symlink A/foo A/sym
+        rename A/bar A/baz
+        creat A/tmp
+        unlink A/tmp
+        mkdir A/sub
+        rmdir A/sub
+        creat A/gone
+        remove A/gone
+        dropcaches
+        msync A/foo 0 4096
+        fdatasync A/foo
+        fsync A
+        sync
+        """
+        workload = parse_workload(text)
+        executor = WorkloadExecutor(fs)
+        executor.run(workload)
+        assert executor.skipped == 0
+        assert executor.executed == len(workload.ops)
+        assert fs.stat("A/foo").size == 6000
+        assert fs.readlink("A/sym") == "A/foo"
+
+    def test_persistence_callback_fires_in_order(self, fs):
+        workload = parse_workload("creat foo\nfsync foo\ncreat bar\nsync")
+        seen = []
+        executor = WorkloadExecutor(fs)
+        executor.run(workload, on_persistence=lambda op, index: seen.append((op.op, index)))
+        assert seen == [(OpKind.FSYNC, 1), (OpKind.SYNC, 3)]
+        assert executor.persistence_count == 2
+
+    def test_before_operation_callback_sees_every_op(self, fs):
+        workload = parse_workload("creat foo\nrename foo bar\nfsync bar")
+        observed = []
+        WorkloadExecutor(fs).run(workload, before_operation=lambda op, index: observed.append(op.op))
+        assert observed == [OpKind.CREAT, OpKind.RENAME, OpKind.FSYNC]
+
+    def test_non_strict_mode_skips_failing_ops(self, fs):
+        workload = parse_workload("unlink ghost\ncreat foo\nfsync foo")
+        executor = WorkloadExecutor(fs)
+        executor.run(workload)
+        assert executor.skipped == 1
+        assert fs.exists("foo")
+
+    def test_strict_mode_raises(self, fs):
+        workload = parse_workload("unlink ghost\nsync")
+        executor = WorkloadExecutor(fs, strict=True)
+        with pytest.raises(FsNoEntryError):
+            executor.run(workload)
+
+    def test_failed_persistence_op_does_not_fire_callback(self, fs):
+        workload = make_workload([ops.fsync("ghost"), ops.sync()])
+        fired = []
+        WorkloadExecutor(fs).run(workload, on_persistence=lambda op, index: fired.append(op.op))
+        assert fired == [OpKind.SYNC]
+
+    def test_mwrite_extends_short_files_automatically(self, fs):
+        workload = parse_workload("creat foo\nmwrite foo 8192 4096\nfsync foo")
+        WorkloadExecutor(fs).run(workload)
+        assert fs.stat("foo").size == 12288
+
+    def test_write_payloads_differ_between_operations(self, fs):
+        workload = parse_workload("write foo 0 4096\nwrite bar 0 4096\nsync")
+        WorkloadExecutor(fs).run(workload)
+        assert fs.read("foo") != fs.read("bar")
+
+    def test_unknown_operation_raises_workload_error(self, fs):
+        from repro.errors import WorkloadError
+        from repro.workload.operations import Operation
+
+        bogus = make_workload([Operation("warpdrive", ("x",)), ops.sync()])
+        with pytest.raises(WorkloadError):
+            WorkloadExecutor(fs).run(bogus)

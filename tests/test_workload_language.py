@@ -1,0 +1,113 @@
+"""The workload text language: parser and printer."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import WorkloadError
+from repro.workload import OpKind, format_workload, ops, parse_line, parse_workload
+from repro.workload.workload import make_workload
+
+
+class TestParseLine:
+    def test_blank_and_comment_lines_are_skipped(self):
+        assert parse_line("") is None
+        assert parse_line("   # just a comment") is None
+        assert parse_line("---crash---") is None
+
+    def test_touch_is_an_alias_for_creat(self):
+        assert parse_line("touch A/foo").op == OpKind.CREAT
+
+    def test_mv_is_an_alias_for_rename(self):
+        op = parse_line("mv A/foo B/bar")
+        assert op.op == OpKind.RENAME
+        assert op.args == ("A/foo", "B/bar")
+
+    def test_write_parses_offset_and_length(self):
+        op = parse_line("write foo 4096 8192")
+        assert op.args == ("foo", 4096, 8192)
+
+    def test_falloc_keep_size_flag(self):
+        op = parse_line("falloc foo 0 4096 keep_size")
+        assert op.kwargs_dict["keep_size"] is True
+        op = parse_line("falloc foo 0 4096")
+        assert op.kwargs_dict["keep_size"] is False
+
+    def test_msync_with_and_without_range(self):
+        assert parse_line("msync foo").args == ("foo",)
+        assert parse_line("msync foo 0 65536").args == ("foo", 0, 65536)
+
+    def test_setxattr_defaults(self):
+        op = parse_line("setxattr foo")
+        assert op.args == ("foo", "user.attr1", "value1")
+
+    def test_unknown_operation_raises(self):
+        with pytest.raises(WorkloadError):
+            parse_line("teleport foo", 3)
+
+    def test_missing_arguments_raise_with_line_number(self):
+        with pytest.raises(WorkloadError) as excinfo:
+            parse_line("rename onlyone", 7)
+        assert "line 7" in str(excinfo.value)
+
+    def test_non_integer_offset_raises(self):
+        with pytest.raises(WorkloadError):
+            parse_line("write foo abc 10")
+
+
+class TestParseWorkload:
+    def test_parses_a_figure1_style_listing(self):
+        text = """
+        # Figure 1
+        creat foo
+        link foo bar
+        sync
+        unlink bar
+        creat bar
+        fsync bar
+        """
+        workload = parse_workload(text, name="figure-1")
+        assert len(workload.ops) == 6
+        assert workload.ends_with_persistence()
+        assert workload.name == "figure-1"
+
+    def test_empty_text_raises(self):
+        with pytest.raises(WorkloadError):
+            parse_workload("# nothing here")
+
+
+class TestFormatWorkload:
+    def test_round_trip_simple_workload(self):
+        workload = make_workload(
+            [ops.mkdir("A"), ops.creat("A/foo"), ops.write("A/foo", 0, 4096),
+             ops.falloc("A/foo", 4096, 4096, keep_size=True), ops.fsync("A/foo")]
+        )
+        text = format_workload(workload)
+        reparsed = parse_workload(text)
+        assert [op.op for op in reparsed.ops] == [op.op for op in workload.ops]
+        assert [op.args for op in reparsed.ops] == [op.args for op in workload.ops]
+        assert [op.kwargs_dict for op in reparsed.ops] == [op.kwargs_dict for op in workload.ops]
+
+
+_simple_op_strategy = st.one_of(
+    st.builds(ops.creat, st.sampled_from(["foo", "bar", "A/foo"])),
+    st.builds(ops.mkdir, st.sampled_from(["A", "B"])),
+    st.builds(ops.write, st.sampled_from(["foo", "A/foo"]),
+              st.integers(0, 10000), st.integers(1, 10000)),
+    st.builds(ops.link, st.sampled_from(["foo", "bar"]), st.sampled_from(["x", "y"])),
+    st.builds(ops.rename, st.sampled_from(["foo", "bar"]), st.sampled_from(["x", "y"])),
+    st.builds(ops.truncate, st.sampled_from(["foo"]), st.integers(0, 100000)),
+    st.builds(ops.fpunch, st.sampled_from(["foo"]), st.integers(0, 10000), st.integers(1, 10000)),
+    st.builds(ops.fsync, st.sampled_from(["foo", "A"])),
+    st.builds(ops.fdatasync, st.sampled_from(["foo"])),
+    st.builds(ops.sync),
+)
+
+
+@settings(max_examples=100, deadline=None)
+@given(op_list=st.lists(_simple_op_strategy, min_size=1, max_size=12))
+def test_language_round_trip_property(op_list):
+    """format(parse(x)) is the identity on operations and arguments."""
+    workload = make_workload(op_list)
+    reparsed = parse_workload(format_workload(workload))
+    assert [op.op for op in reparsed.ops] == [op.op for op in workload.ops]
+    assert [tuple(op.args) for op in reparsed.ops] == [tuple(op.args) for op in workload.ops]

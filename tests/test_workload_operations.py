@@ -1,0 +1,106 @@
+"""Workload operations and the Workload container."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workload import Operation, OpKind, Workload, make_workload, ops
+
+
+class TestOperation:
+    def test_constructors_produce_expected_ops(self):
+        assert ops.creat("foo").op == OpKind.CREAT
+        assert ops.write("foo", 0, 4096).args == ("foo", 0, 4096)
+        assert ops.falloc("foo", 0, 10, keep_size=True).kwargs_dict == {"keep_size": True}
+        assert ops.rename("a", "b").args == ("a", "b")
+        assert ops.sync().args == ()
+
+    def test_persistence_flag(self):
+        assert ops.fsync("foo").is_persistence
+        assert ops.fdatasync("foo").is_persistence
+        assert ops.sync().is_persistence
+        assert ops.msync("foo").is_persistence
+        assert not ops.write("foo", 0, 10).is_persistence
+
+    def test_dependency_marking(self):
+        dep = ops.creat("foo").as_dependency()
+        assert dep.dependency
+        assert not ops.creat("foo").dependency
+
+    def test_json_round_trip(self):
+        op = ops.falloc("A/foo", 8192, 4096, keep_size=True)
+        restored = Operation.from_json(op.to_json())
+        assert restored == op
+
+    def test_describe_includes_arguments(self):
+        text = ops.rename("A/foo", "B/bar").describe()
+        assert "rename" in text and "A/foo" in text and "B/bar" in text
+        assert "[dep]" in ops.mkdir("A", dependency=True).describe()
+
+    def test_ace_core_operation_set_has_fourteen_entries(self):
+        assert len(OpKind.ACE_CORE) == 14
+
+
+class TestWorkload:
+    def _workload(self):
+        return make_workload(
+            [
+                ops.mkdir("A", dependency=True),
+                ops.creat("A/foo", dependency=True),
+                ops.rename("A/foo", "A/bar"),
+                ops.sync(),
+                ops.link("A/bar", "A/baz"),
+                ops.fsync("A/baz"),
+            ],
+            name="example",
+            seq_length=2,
+        )
+
+    def test_core_ops_exclude_dependencies_and_persistence(self):
+        workload = self._workload()
+        assert [op.op for op in workload.core_ops()] == [OpKind.RENAME, OpKind.LINK]
+
+    def test_skeleton(self):
+        assert self._workload().skeleton() == (OpKind.RENAME, OpKind.LINK)
+
+    def test_persistence_points(self):
+        workload = self._workload()
+        assert workload.num_persistence_points() == 2
+        assert workload.ends_with_persistence()
+
+    def test_workload_id_is_stable_and_content_based(self):
+        first = self._workload()
+        second = self._workload()
+        assert first.workload_id() == second.workload_id()
+        second.append(ops.sync())
+        assert first.workload_id() != second.workload_id()
+
+    def test_json_round_trip(self):
+        workload = self._workload()
+        restored = Workload.from_json(workload.to_json())
+        assert restored.ops == workload.ops
+        assert restored.name == workload.name
+        assert restored.seq_length == workload.seq_length
+
+    def test_validate_requires_persistence_point(self):
+        with pytest.raises(WorkloadError):
+            make_workload([ops.creat("foo")]).validate()
+
+    def test_validate_requires_trailing_persistence(self):
+        with pytest.raises(WorkloadError):
+            make_workload([ops.creat("foo"), ops.sync(), ops.creat("bar")]).validate()
+
+    def test_validate_rejects_empty_workload(self):
+        with pytest.raises(WorkloadError):
+            Workload().validate()
+
+    def test_paths_touched(self):
+        workload = self._workload()
+        assert "A/foo" in workload.paths_touched()
+        assert "A/baz" in workload.paths_touched()
+
+    def test_operations_used_is_sorted_unique(self):
+        assert self._workload().operations_used() == (OpKind.LINK, OpKind.RENAME)
+
+    def test_describe_lists_every_operation(self):
+        text = self._workload().describe()
+        assert text.count("\n") == len(self._workload().ops)
