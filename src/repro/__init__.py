@@ -13,6 +13,7 @@ from . import errors, storage
 from . import fs as filesystems  # re-exported under a readable name
 from .core.campaign import quick_campaign
 from .crashmonkey.harness import CrashMonkey
+from .engine import CampaignEngine, HarnessSpec, ProcessPoolBackend, SerialBackend
 from .workload.language import parse_workload
 
 __all__ = [
@@ -21,6 +22,10 @@ __all__ = [
     "filesystems",
     "quick_campaign",
     "CrashMonkey",
+    "CampaignEngine",
+    "HarnessSpec",
+    "SerialBackend",
+    "ProcessPoolBackend",
     "parse_workload",
     "__version__",
 ]

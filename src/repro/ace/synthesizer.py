@@ -77,10 +77,10 @@ class AceSynthesizer:
                     if limit is not None and produced >= limit:
                         return
 
-    def sample(self, count: int, stride: Optional[int] = None,
-               required_ops: Optional[Sequence[str]] = None,
-               max_stride: int = 2000) -> List[Workload]:
-        """Deterministically sample ``count`` workloads spread over the space.
+    def sample_stream(self, count: int, stride: Optional[int] = None,
+                      required_ops: Optional[Sequence[str]] = None,
+                      max_stride: int = 2000) -> Iterator[Workload]:
+        """Lazily yield ``count`` workloads deterministically spread over the space.
 
         Sampling takes every ``stride``-th generated workload; when no stride
         is given one is estimated from the space size so the samples cover the
@@ -89,17 +89,38 @@ class AceSynthesizer:
         value spreads the sample wider at the cost of generation time).
         """
         if count <= 0:
-            return []
+            return
         if stride is None:
             estimated = max(self.estimate_count(required_ops), 1)
             stride = min(max(estimated // count, 1), max(max_stride, 1))
-        samples: List[Workload] = []
+        produced = 0
         for position, workload in enumerate(self.generate(required_ops)):
             if position % stride == 0:
-                samples.append(workload)
-                if len(samples) >= count:
-                    break
-        return samples
+                yield workload
+                produced += 1
+                if produced >= count:
+                    return
+
+    def sample(self, count: int, stride: Optional[int] = None,
+               required_ops: Optional[Sequence[str]] = None,
+               max_stride: int = 2000) -> List[Workload]:
+        """Materialized :meth:`sample_stream` (kept for convenience)."""
+        return list(self.sample_stream(count, stride=stride,
+                                       required_ops=required_ops,
+                                       max_stride=max_stride))
+
+    def stream(self, limit: Optional[int] = None, sample: bool = False,
+               required_ops: Optional[Sequence[str]] = None) -> Iterator[Workload]:
+        """The campaign-facing workload supply, always lazy.
+
+        This is what the execution engine consumes: an iterator over the
+        bounded space — exhaustive, prefix-capped (``limit``) or spread over
+        the space (``limit`` + ``sample``) — that is pulled chunk by chunk,
+        never materialized.
+        """
+        if limit is not None and sample:
+            return self.sample_stream(limit, required_ops=required_ops)
+        return self.generate(required_ops=required_ops, limit=limit)
 
     # ------------------------------------------------------------------ counting
 

@@ -42,6 +42,13 @@ _BOUND_PRESETS = {
 }
 
 
+def _positive_int(value: str) -> int:
+    number = int(value)
+    if number < 1:
+        raise argparse.ArgumentTypeError("must be a positive integer")
+    return number
+
+
 def _bounds_from_args(args) -> Bounds:
     if args.preset:
         return _BOUND_PRESETS[args.preset]()
@@ -99,9 +106,28 @@ def cmd_campaign(args) -> int:
         bounds=_bounds_from_args(args),
         max_workloads=args.limit,
         sample=args.sample,
+        processes=args.processes,
+        chunk_size=args.chunk_size,
     )
-    result = B3Campaign(config).run()
+
+    def show_progress(event):
+        print(
+            f"  chunk {event.chunks_done}: {event.workloads_done} workloads tested, "
+            f"{event.failing_workloads} failing, {event.elapsed_seconds:.2f}s elapsed "
+            f"[{event.chunk.worker}]",
+            file=sys.stderr,
+        )
+
+    campaign = B3Campaign(config)
+    result = campaign.run(progress=show_progress if args.progress else None)
     print(result.describe())
+    if campaign.last_run is not None:
+        backend = "serial" if config.processes <= 1 else f"{config.processes}-process pool"
+        print(
+            f"engine: {backend}, {len(campaign.last_run.chunks)} chunks, "
+            f"wall clock {campaign.last_run.wall_clock_seconds:.2f}s",
+            file=sys.stderr,
+        )
     return 0 if not result.all_reports() else 1
 
 
@@ -154,6 +180,12 @@ def build_parser() -> argparse.ArgumentParser:
     campaign.add_argument("--sample", action="store_true",
                           help="spread --limit workloads over the whole space")
     campaign.add_argument("--patched", action="store_true")
+    campaign.add_argument("--processes", "-j", type=_positive_int, default=1,
+                          help="worker processes for the engine's process-pool backend")
+    campaign.add_argument("--chunk-size", type=_positive_int, default=None,
+                          help="workloads per dispatched chunk (default: engine default)")
+    campaign.add_argument("--progress", action="store_true",
+                          help="print a progress line per completed chunk")
 
     reproduce = sub.add_parser("reproduce", help="replay a bug from the known-bug database")
     reproduce.add_argument("bug_id", help="e.g. known-5 or new-1")

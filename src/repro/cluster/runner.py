@@ -1,21 +1,25 @@
 """Parallel campaign execution.
 
 Runs workload batches the way the paper's cluster does — many independent
-CrashMonkey instances, each with its own devices and file-system instance —
-using either the current process or a multiprocessing pool.  The results are
-merged into a single :class:`CampaignResult` plus per-VM statistics that feed
-the cluster-scale projections.
+CrashMonkey instances, each with its own devices and file-system instance.
+The runner is a façade over the execution engine (:mod:`repro.engine`): the
+scheduler's :func:`partition` produces one batch per simulated VM, the engine
+dispatches those batches onto a serial or process-pool backend (one long-lived
+harness per worker), and each VM's ``seconds`` is the wall clock measured
+inside the worker that ran its batch — not a uniform share of the pool's
+elapsed time.  Results merge into a single :class:`CampaignResult` plus
+per-VM statistics that feed the cluster-scale projections.
 """
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence
 
 from ..core.results import CampaignResult
-from ..crashmonkey.harness import CrashMonkey
-from ..crashmonkey.report import CrashTestResult
+from ..engine.backends import make_backend
+from ..engine.engine import CampaignEngine, ChunkStats, EngineRun
+from ..engine.spec import HarnessSpec
 from ..fs.bugs import BugConfig
 from ..fs.registry import models, resolve_fs_name
 from ..workload.workload import Workload
@@ -30,6 +34,8 @@ class VmStats:
     workloads: int
     seconds: float
     failing_workloads: int
+    #: which engine worker ran the batch ("serial" or "pid-<n>")
+    worker: str = "serial"
 
 
 @dataclass
@@ -60,19 +66,6 @@ class ClusterRunResult:
         )
 
 
-def _run_batch(fs_name: str, bugs: Optional[BugConfig], device_blocks: int,
-               only_last_checkpoint: bool, batch: Sequence[Workload]) -> List[CrashTestResult]:
-    harness = CrashMonkey(
-        fs_name, bugs=bugs, device_blocks=device_blocks,
-        only_last_checkpoint=only_last_checkpoint,
-    )
-    return [harness.test_workload(workload) for workload in batch]
-
-
-def _run_batch_star(args) -> List[CrashTestResult]:
-    return _run_batch(*args)
-
-
 class ClusterRunner:
     """Executes a workload set partitioned into VM-sized batches."""
 
@@ -83,7 +76,7 @@ class ClusterRunner:
         Args:
             processes: number of OS processes to use.  ``1`` (default) runs the
                 batches sequentially in-process, which is the most portable
-                mode; larger values use a multiprocessing pool.
+                mode; larger values use the engine's process-pool backend.
         """
         self.fs_name = resolve_fs_name(fs_name)
         self.fs_model = models(self.fs_name)
@@ -92,46 +85,36 @@ class ClusterRunner:
         self.device_blocks = device_blocks
         self.only_last_checkpoint = only_last_checkpoint
         self.processes = max(1, processes)
+        self.harness_spec = HarnessSpec(
+            fs_name=self.fs_name,
+            bugs=bugs,
+            device_blocks=device_blocks,
+            only_last_checkpoint=only_last_checkpoint,
+        )
 
     def run(self, workloads: Sequence[Workload], num_vms: Optional[int] = None,
             label: str = "") -> ClusterRunResult:
         num_vms = num_vms if num_vms is not None else min(self.spec.total_vms, max(len(workloads), 1))
         batches = partition(workloads, num_vms)
 
-        campaign = CampaignResult(fs_name=self.fs_name, fs_model=self.fs_model, label=label)
-        run_result = ClusterRunResult(campaign=campaign, spec=self.spec)
+        engine = CampaignEngine(
+            self.harness_spec,
+            backend=make_backend(self.processes),
+        )
+        run: EngineRun = engine.run_batches(batches, label=label)
 
-        testing_start = time.perf_counter()
-        batch_args = [
-            (self.fs_name, self.bugs, self.device_blocks, self.only_last_checkpoint, batch)
-            for batch in batches
-        ]
-        if self.processes == 1 or len(batches) == 1:
-            batch_results = []
-            for args in batch_args:
-                start = time.perf_counter()
-                results = _run_batch_star(args)
-                batch_results.append((results, time.perf_counter() - start))
-        else:
-            import multiprocessing
+        return ClusterRunResult(
+            campaign=run.result,
+            vm_stats=[self._vm_stats(stats) for stats in run.chunks],
+            spec=self.spec,
+        )
 
-            with multiprocessing.Pool(self.processes) as pool:
-                start = time.perf_counter()
-                all_results = pool.map(_run_batch_star, batch_args)
-                elapsed = time.perf_counter() - start
-                batch_results = [
-                    (results, elapsed / max(len(all_results), 1)) for results in all_results
-                ]
-        campaign.testing_seconds = time.perf_counter() - testing_start
-
-        for vm_id, (results, seconds) in enumerate(batch_results):
-            campaign.results.extend(results)
-            run_result.vm_stats.append(
-                VmStats(
-                    vm_id=vm_id,
-                    workloads=len(results),
-                    seconds=seconds,
-                    failing_workloads=sum(1 for result in results if not result.passed),
-                )
-            )
-        return run_result
+    @staticmethod
+    def _vm_stats(stats: ChunkStats) -> VmStats:
+        return VmStats(
+            vm_id=stats.index,
+            workloads=stats.workloads,
+            seconds=stats.seconds,
+            failing_workloads=stats.failing_workloads,
+            worker=stats.worker,
+        )

@@ -39,13 +39,18 @@ class ClusterSpec:
 
 
 def partition(workloads: Sequence[Workload], num_partitions: int) -> List[List[Workload]]:
-    """Split workloads into ``num_partitions`` balanced batches (round robin)."""
+    """Split workloads into ``num_partitions`` balanced batches (round robin).
+
+    Empty batches are dropped, so fewer workloads than partitions yields one
+    single-workload batch per workload and an empty workload set yields zero
+    batches (no phantom VMs).
+    """
     if num_partitions <= 0:
         raise ValueError("num_partitions must be positive")
     batches: List[List[Workload]] = [[] for _ in range(num_partitions)]
     for index, workload in enumerate(workloads):
         batches[index % num_partitions].append(workload)
-    return [batch for batch in batches if batch] or [[]]
+    return [batch for batch in batches if batch]
 
 
 @dataclass

@@ -4,17 +4,25 @@ This is the top of the stack — the equivalent of the paper's testing strategy
 (§5.3): pick bounds, exhaustively generate workloads, run every workload
 through CrashMonkey against the target file system, and post-process the
 resulting bug reports.
+
+The campaign itself is a thin façade: execution is delegated to the streaming
+engine (:mod:`repro.engine`), which pulls workloads lazily from the
+synthesizer, dispatches them in chunks to a serial or process-pool backend,
+and aggregates results incrementally.  Peak memory is O(in-flight chunk), not
+O(workload space).
 """
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
-from typing import Iterable, List, Optional, Sequence
+from typing import Iterable, Iterator, List, Optional
 
 from ..ace.bounds import Bounds, seq1_bounds, seq2_bounds
 from ..ace.synthesizer import AceSynthesizer
 from ..crashmonkey.harness import CrashMonkey
+from ..engine.backends import SerialBackend, make_backend
+from ..engine.engine import DEFAULT_CHUNK_SIZE, CampaignEngine, EngineRun, ProgressCallback
+from ..engine.spec import HarnessSpec
 from ..fs.bugs import BugConfig
 from ..fs.registry import models, resolve_fs_name
 from ..workload.workload import Workload
@@ -34,6 +42,10 @@ class CampaignConfig:
     sample: bool = False
     device_blocks: int = 4096
     only_last_checkpoint: bool = False
+    #: worker processes; 1 = serial in-process, >1 = process-pool backend
+    processes: int = 1
+    #: workloads per dispatched chunk (None = engine default)
+    chunk_size: Optional[int] = None
 
 
 class B3Campaign:
@@ -44,60 +56,83 @@ class B3Campaign:
         self.fs_name = resolve_fs_name(config.fs_name)
         self.fs_model = models(self.fs_name)
         self.bounds = config.bounds if config.bounds is not None else seq2_bounds()
-        self.harness = CrashMonkey(
-            self.fs_name,
+        self.spec = HarnessSpec(
+            fs_name=self.fs_name,
             bugs=config.bugs,
             device_blocks=config.device_blocks,
             only_last_checkpoint=config.only_last_checkpoint,
         )
+        self._harness: Optional[CrashMonkey] = None
+        #: engine bookkeeping of the most recent :meth:`run` (chunk stats, wall clock)
+        self.last_run: Optional[EngineRun] = None
+
+    @property
+    def harness(self) -> CrashMonkey:
+        """The campaign's serial-mode harness, built from the spec on demand.
+
+        Pool-mode runs never touch it — workers build their own harness from
+        the (pickled) spec.
+        """
+        if self._harness is None:
+            self._harness = self.spec.build()
+        return self._harness
 
     # ------------------------------------------------------------------ workload supply
 
-    def generate_workloads(self) -> List[Workload]:
-        """Generate the workloads this campaign will test."""
+    def iter_workloads(self) -> Iterator[Workload]:
+        """Stream the workloads this campaign will test (never materialized)."""
         synthesizer = AceSynthesizer(self.bounds)
-        if self.config.max_workloads is None:
-            return list(synthesizer.generate())
-        if self.config.sample:
-            return synthesizer.sample(self.config.max_workloads)
-        return list(synthesizer.generate(limit=self.config.max_workloads))
+        return synthesizer.stream(limit=self.config.max_workloads,
+                                  sample=self.config.sample)
+
+    def generate_workloads(self) -> List[Workload]:
+        """Materialize the campaign's workloads (prefer :meth:`iter_workloads`)."""
+        return list(self.iter_workloads())
 
     # ------------------------------------------------------------------ execution
 
-    def run(self, workloads: Optional[Sequence[Workload]] = None) -> CampaignResult:
-        """Run the campaign; workloads are generated unless supplied."""
-        result = CampaignResult(
-            fs_name=self.fs_name,
-            fs_model=self.fs_model,
-            label=self.bounds.label or f"seq-{self.bounds.seq_length}",
+    def _engine(self, progress: Optional[ProgressCallback]) -> CampaignEngine:
+        if self.config.processes <= 1:
+            # Reuse the campaign's own harness across the whole run.
+            backend = SerialBackend(harness=self.harness)
+        else:
+            backend = make_backend(self.config.processes)
+        chunk_size = (self.config.chunk_size if self.config.chunk_size is not None
+                      else DEFAULT_CHUNK_SIZE)
+        return CampaignEngine(
+            self.spec,
+            backend=backend,
+            chunk_size=chunk_size,
+            progress=progress,
         )
-        generation_start = time.perf_counter()
-        if workloads is None:
-            workloads = self.generate_workloads()
-        result.generation_seconds = time.perf_counter() - generation_start
 
-        testing_start = time.perf_counter()
-        for workload in workloads:
-            result.results.append(self.harness.test_workload(workload))
-        result.testing_seconds = time.perf_counter() - testing_start
-        return result
+    def run(self, workloads: Optional[Iterable[Workload]] = None,
+            progress: Optional[ProgressCallback] = None) -> CampaignResult:
+        """Run the campaign; workloads are streamed from ACE unless supplied."""
+        source = workloads if workloads is not None else self.iter_workloads()
+        label = self.bounds.label or f"seq-{self.bounds.seq_length}"
+        run = self._engine(progress).run(source, label=label)
+        self.last_run = run
+        return run.result
 
 
 def quick_campaign(fs_name: str = "btrfs", seq_length: int = 1,
                    max_workloads: Optional[int] = None,
                    bugs: Optional[BugConfig] = None,
-                   sample: bool = False) -> CampaignResult:
+                   sample: bool = False,
+                   processes: int = 1) -> CampaignResult:
     """Convenience wrapper: the "single line command to run seq-1 workloads".
 
     ``quick_campaign()`` with the defaults exhaustively tests every seq-1
     workload against the btrfs-like file system and returns the aggregated
     result — the same entry point the paper advertises for trying the tools.
+    Pass ``processes > 1`` to spread testing over a process pool.
     """
     bounds = seq1_bounds() if seq_length == 1 else seq2_bounds()
     if seq_length not in (1, 2):
         bounds = Bounds(seq_length=seq_length, label=f"seq-{seq_length}")
     config = CampaignConfig(
         fs_name=fs_name, bugs=bugs, bounds=bounds,
-        max_workloads=max_workloads, sample=sample,
+        max_workloads=max_workloads, sample=sample, processes=processes,
     )
     return B3Campaign(config).run()

@@ -28,6 +28,16 @@ class CampaignResult:
     generation_seconds: float = 0.0
     testing_seconds: float = 0.0
 
+    # -- incremental aggregation -------------------------------------------------
+
+    def ingest_many(self, results: List[CrashTestResult]) -> None:
+        """Aggregate a completed chunk's outcomes (streamed in as testing runs).
+
+        The execution engine calls this per completed chunk, so every derived
+        quantity below is available mid-campaign for progress reporting.
+        """
+        self.results.extend(results)
+
     # -- aggregation ------------------------------------------------------------
 
     @property

@@ -16,7 +16,7 @@ POSIX-ish API and the block-device write stream.
 from __future__ import annotations
 
 import time
-from typing import List, Optional
+from typing import Iterator, List, Optional
 
 from ..fs.bugs import BugConfig
 from ..fs.registry import models, resolve_fs_name
@@ -110,6 +110,17 @@ class CrashMonkey:
                 )
         return result
 
+    def test_stream(self, workloads) -> "Iterator[CrashTestResult]":
+        """Lazily test a stream of workloads, yielding one result per workload.
+
+        The harness is safe to reuse across arbitrarily many workloads: each
+        profile run copies the recorder's pristine image (the re-mkfs step),
+        so no state leaks between workloads.  This is what the execution
+        engine's long-lived per-worker harnesses rely on.
+        """
+        for workload in workloads:
+            yield self.test_workload(workload)
+
     def test_workloads(self, workloads) -> List[CrashTestResult]:
         """Test a batch of workloads, returning one result per workload."""
-        return [self.test_workload(workload) for workload in workloads]
+        return list(self.test_stream(workloads))

@@ -1,0 +1,161 @@
+"""The campaign execution engine.
+
+One shared generate → dispatch → check → aggregate path for everything that
+tests workloads in bulk: :class:`~repro.core.campaign.B3Campaign`,
+:class:`~repro.cluster.runner.ClusterRunner`, and the CLI are thin façades
+over this module.
+
+Workloads flow as a *stream*: the engine pulls from the supplied iterable
+(typically ``AceSynthesizer.generate()``) only as fast as the backend consumes
+chunks, so peak memory is O(in-flight chunk), never O(workload space).
+Results are aggregated incrementally into a :class:`CampaignResult` as chunks
+complete, with a progress callback per chunk and real per-chunk wall-clock
+timing measured inside the worker that ran it.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, List, Optional
+
+from ..core.results import CampaignResult
+from ..fs.registry import models, resolve_fs_name
+from ..workload.workload import Workload
+from .backends import ChunkStats, ExecutionBackend, SerialBackend, make_backend
+from .spec import HarnessSpec
+from .stream import TimedIterator, chunked
+
+#: Default chunk size: large enough to amortize dispatch, small enough for
+#: balanced progress reporting and bounded in-flight memory.
+DEFAULT_CHUNK_SIZE = 64
+
+
+@dataclass
+class ProgressEvent:
+    """Snapshot passed to the progress callback after every completed chunk."""
+
+    chunks_done: int
+    workloads_done: int
+    failing_workloads: int
+    #: workloads pulled from the generator so far (>= workloads_done)
+    generated: int
+    elapsed_seconds: float
+    chunk: ChunkStats
+
+
+ProgressCallback = Callable[[ProgressEvent], None]
+
+
+@dataclass
+class EngineRun:
+    """Everything one engine run produced."""
+
+    result: CampaignResult
+    chunks: List[ChunkStats] = field(default_factory=list)
+    wall_clock_seconds: float = 0.0
+
+    @property
+    def max_chunk_seconds(self) -> float:
+        """Slowest chunk — the parallel wall clock if chunks were VMs."""
+        return max((stats.seconds for stats in self.chunks), default=0.0)
+
+
+class CampaignEngine:
+    """Streams workloads through an execution backend into a campaign result."""
+
+    def __init__(self, spec: HarnessSpec,
+                 backend: Optional[ExecutionBackend] = None,
+                 chunk_size: int = DEFAULT_CHUNK_SIZE,
+                 progress: Optional[ProgressCallback] = None,
+                 preserve_order: bool = True):
+        """
+        Args:
+            spec: how workers build their harnesses.
+            backend: execution strategy; defaults to :class:`SerialBackend`.
+            chunk_size: workloads per dispatched chunk.
+            progress: called after every completed chunk.
+            preserve_order: reassemble results into input-stream order after
+                unordered completion, so serial and parallel runs return
+                identical orderings.
+        """
+        self.spec = spec
+        self.backend = backend if backend is not None else SerialBackend()
+        self.chunk_size = chunk_size
+        self.progress = progress
+        self.preserve_order = preserve_order
+        self.fs_name = resolve_fs_name(spec.fs_name)
+        self.fs_model = models(self.fs_name)
+
+    # ------------------------------------------------------------------ running
+
+    def run(self, workloads: Iterable[Workload], label: str = "") -> EngineRun:
+        """Stream ``workloads`` through the backend; chunking is the engine's."""
+        timed = TimedIterator(workloads)
+        run = self._execute(enumerate(chunked(timed, self.chunk_size)), label, timed)
+        run.result.generation_seconds = timed.seconds
+        if getattr(self.backend, "overlaps_generation", False):
+            # Workers keep testing while the dispatch thread pulls from the
+            # generator, so generation costs no extra wall clock.
+            run.result.testing_seconds = run.wall_clock_seconds
+        else:
+            run.result.testing_seconds = max(
+                run.wall_clock_seconds - timed.seconds, 0.0
+            )
+        return run
+
+    def run_batches(self, batches: Iterable[List[Workload]], label: str = "") -> EngineRun:
+        """Run pre-partitioned batches (e.g. the scheduler's per-VM split) as-is."""
+        run = self._execute(enumerate(batches), label, source=None)
+        run.result.testing_seconds = run.wall_clock_seconds
+        return run
+
+    def _execute(self, stream, label: str,
+                 source: Optional[TimedIterator]) -> EngineRun:
+        result = CampaignResult(fs_name=self.fs_name, fs_model=self.fs_model, label=label)
+        run = EngineRun(result=result)
+        chunk_results: List[List] = []  # completion-ordered, parallel to run.chunks
+        start = time.perf_counter()
+        for outcome in self.backend.execute(self.spec, stream):
+            result.ingest_many(outcome.results)
+            stats = outcome.stats()
+            run.chunks.append(stats)
+            if self.preserve_order:
+                chunk_results.append(outcome.results)
+            if self.progress is not None:
+                self.progress(
+                    ProgressEvent(
+                        chunks_done=len(run.chunks),
+                        workloads_done=result.workloads_tested,
+                        failing_workloads=result.failing_workloads,
+                        generated=source.count if source is not None else result.workloads_tested,
+                        elapsed_seconds=time.perf_counter() - start,
+                        chunk=stats,
+                    )
+                )
+        run.wall_clock_seconds = time.perf_counter() - start
+        order = sorted(range(len(run.chunks)), key=lambda pos: run.chunks[pos].index)
+        if self.preserve_order:
+            # Reassemble completion-ordered chunks back into stream order, so
+            # result.results corresponds positionally to the input workloads
+            # whichever backend ran them.
+            result.results = [
+                test_result
+                for pos in order
+                for test_result in chunk_results[pos]
+            ]
+        run.chunks = [run.chunks[pos] for pos in order]
+        return run
+
+
+def run_campaign(spec: HarnessSpec, workloads: Iterable[Workload], label: str = "",
+                 processes: int = 1, chunk_size: int = DEFAULT_CHUNK_SIZE,
+                 progress: Optional[ProgressCallback] = None) -> EngineRun:
+    """One-call engine entry point used by the façades."""
+    engine = CampaignEngine(
+        spec,
+        backend=make_backend(processes),
+        chunk_size=chunk_size,
+        progress=progress,
+    )
+    return engine.run(workloads, label=label)

@@ -1,0 +1,42 @@
+"""Harness specification.
+
+Execution backends need to (re)construct :class:`CrashMonkey` harnesses in
+other processes, so instead of shipping a live harness (which drags the whole
+file-system object graph through pickle) they ship a small, frozen *spec* —
+everything needed to build an equivalent harness on the other side.  A worker
+builds its harness once from the spec and then reuses it for every workload it
+tests; the harness itself re-mkfs-es (copies the pristine image) per workload,
+which is B3's fixed-initial-state bound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..crashmonkey.harness import CrashMonkey
+from ..fs.bugs import BugConfig
+from ..storage.block import DEFAULT_DEVICE_BLOCKS
+
+
+@dataclass(frozen=True)
+class HarnessSpec:
+    """Everything needed to build a :class:`CrashMonkey` in any process."""
+
+    fs_name: str = "btrfs"
+    bugs: Optional[BugConfig] = None
+    device_blocks: int = DEFAULT_DEVICE_BLOCKS
+    only_last_checkpoint: bool = False
+    run_write_checks: bool = True
+    kernel_version: str = "4.16"
+
+    def build(self) -> CrashMonkey:
+        """Construct a harness equivalent to this spec."""
+        return CrashMonkey(
+            self.fs_name,
+            bugs=self.bugs,
+            device_blocks=self.device_blocks,
+            only_last_checkpoint=self.only_last_checkpoint,
+            run_write_checks=self.run_write_checks,
+            kernel_version=self.kernel_version,
+        )

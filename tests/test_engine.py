@@ -1,0 +1,235 @@
+"""The streaming, parallel campaign execution engine."""
+
+import pytest
+
+from repro.ace import AceSynthesizer, seq1_bounds
+from repro.cluster import ClusterRunner, partition
+from repro.core import B3Campaign, CampaignConfig, quick_campaign
+from repro.engine import (
+    CampaignEngine,
+    HarnessSpec,
+    ProcessPoolBackend,
+    SerialBackend,
+    TimedIterator,
+    chunked,
+    run_campaign,
+)
+
+from conftest import SMALL_DEVICE_BLOCKS
+
+
+def _spec(**kwargs) -> HarnessSpec:
+    kwargs.setdefault("fs_name", "btrfs")
+    kwargs.setdefault("device_blocks", SMALL_DEVICE_BLOCKS)
+    return HarnessSpec(**kwargs)
+
+
+def _fingerprint(result):
+    """Everything that identifies one workload's findings."""
+    return (
+        result.workload.name,
+        result.workload.workload_id(),
+        result.passed,
+        result.checkpoints_tested,
+        tuple(
+            (report.checkpoint_id, report.consequence, len(report.mismatches))
+            for report in result.bug_reports
+        ),
+    )
+
+
+class TestStreamHelpers:
+    def test_chunked_splits_lazily(self):
+        chunks = list(chunked(iter(range(10)), 4))
+        assert chunks == [[0, 1, 2, 3], [4, 5, 6, 7], [8, 9]]
+
+    def test_chunked_rejects_nonpositive_size(self):
+        with pytest.raises(ValueError):
+            list(chunked([1], 0))
+
+    def test_timed_iterator_counts_and_times(self):
+        timed = TimedIterator(iter(range(5)))
+        assert list(timed) == [0, 1, 2, 3, 4]
+        assert timed.count == 5
+        assert timed.exhausted
+        assert timed.seconds >= 0.0
+
+
+class TestSerialEngine:
+    def test_full_seq1_space_matches_direct_harness_run(self):
+        workloads = list(AceSynthesizer(seq1_bounds()).generate())
+        run = run_campaign(_spec(), iter(workloads), label="seq-1")
+        direct = _spec().build().test_workloads(workloads)
+        assert [_fingerprint(r) for r in run.result.results] == \
+            [_fingerprint(r) for r in direct]
+        assert run.result.workloads_tested == len(workloads)
+        assert run.result.testing_seconds > 0
+        assert run.result.generation_seconds >= 0
+
+    def test_generation_is_streamed_not_materialized(self):
+        total = AceSynthesizer(seq1_bounds()).count()
+        pulled_at_event = []
+
+        pulled = 0
+
+        def counting_source():
+            nonlocal pulled
+            for workload in AceSynthesizer(seq1_bounds()).generate():
+                pulled += 1
+                yield workload
+
+        def on_progress(event):
+            pulled_at_event.append((pulled, event.workloads_done))
+
+        engine = CampaignEngine(_spec(), backend=SerialBackend(), chunk_size=32,
+                                progress=on_progress)
+        engine.run(counting_source(), label="seq-1")
+
+        # At the first completed chunk, the generator must not be exhausted:
+        first_pulled, first_done = pulled_at_event[0]
+        assert first_done == 32
+        assert first_pulled < total
+        # The serial backend never runs ahead of testing by more than a chunk.
+        for pulled_count, done in pulled_at_event:
+            assert pulled_count <= done + 32
+
+    def test_progress_events_accumulate(self):
+        events = []
+        engine = CampaignEngine(_spec(), chunk_size=10, progress=events.append)
+        workloads = AceSynthesizer(seq1_bounds()).sample(25)
+        run = engine.run(iter(workloads))
+        assert [event.chunks_done for event in events] == [1, 2, 3]
+        assert [event.workloads_done for event in events] == [10, 20, 25]
+        assert events[-1].failing_workloads == run.result.failing_workloads
+        assert all(event.chunk.seconds > 0 for event in events)
+
+    def test_empty_stream_yields_empty_result(self):
+        run = run_campaign(_spec(), iter(()), label="empty")
+        assert run.result.workloads_tested == 0
+        assert run.chunks == []
+        assert run.max_chunk_seconds == 0.0
+
+
+class TestProcessPoolEngine:
+    def test_pool_and_serial_find_identical_bugs_on_full_seq1_space(self):
+        serial = run_campaign(_spec(), AceSynthesizer(seq1_bounds()).generate(),
+                              label="seq-1", processes=1)
+        pooled = run_campaign(_spec(), AceSynthesizer(seq1_bounds()).generate(),
+                              label="seq-1", processes=2, chunk_size=48)
+        assert serial.result.workloads_tested == pooled.result.workloads_tested
+        # Identical findings in identical (sorted) order.
+        assert [_fingerprint(r) for r in serial.result.results] == \
+            [_fingerprint(r) for r in pooled.result.results]
+        assert serial.result.failing_workloads == pooled.result.failing_workloads
+        assert len(serial.result.grouped_reports()) == len(pooled.result.grouped_reports())
+        # Real per-chunk timing measured inside the workers.
+        assert all(stats.seconds > 0 for stats in pooled.chunks)
+        assert any(stats.worker.startswith("pid-") for stats in pooled.chunks)
+
+    def test_pool_consumes_the_stream_lazily(self):
+        total = AceSynthesizer(seq1_bounds()).count()
+        chunk_size, max_inflight = 16, 3
+        backend = ProcessPoolBackend(processes=2, max_inflight=max_inflight)
+        pulled = 0
+        high_water = []
+
+        def counting_source():
+            nonlocal pulled
+            for workload in AceSynthesizer(seq1_bounds()).generate():
+                pulled += 1
+                yield workload
+
+        def on_progress(event):
+            high_water.append((pulled, event.workloads_done))
+
+        engine = CampaignEngine(_spec(), backend=backend, chunk_size=chunk_size,
+                                progress=on_progress)
+        run = engine.run(counting_source(), label="seq-1")
+        assert run.result.workloads_tested == total
+        first_pulled, _ = high_water[0]
+        assert first_pulled < total
+        # The submission window bounds how far generation runs ahead of testing.
+        for pulled_count, done in high_water:
+            assert pulled_count <= done + chunk_size * (max_inflight + 1)
+
+    def test_backend_requires_sane_inflight_window(self):
+        with pytest.raises(ValueError):
+            ProcessPoolBackend(processes=2, max_inflight=0)
+
+
+class TestCampaignFacade:
+    def test_campaign_runs_through_the_engine(self):
+        config = CampaignConfig(fs_name="btrfs", bounds=seq1_bounds(),
+                                max_workloads=40, device_blocks=SMALL_DEVICE_BLOCKS)
+        campaign = B3Campaign(config)
+        result = campaign.run()
+        assert result.workloads_tested == 40
+        assert campaign.last_run is not None
+        assert campaign.last_run.result is result
+        assert sum(stats.workloads for stats in campaign.last_run.chunks) == 40
+
+    def test_parallel_campaign_matches_serial_findings(self):
+        serial = quick_campaign("btrfs", seq_length=1, max_workloads=100)
+        pooled = quick_campaign("btrfs", seq_length=1, max_workloads=100, processes=2)
+        assert [_fingerprint(r) for r in serial.results] == \
+            [_fingerprint(r) for r in pooled.results]
+
+    def test_supplied_workloads_keep_input_order(self):
+        # Result order must correspond positionally to the supplied workloads,
+        # even when names do not sort lexicographically (w10 < w2) and even
+        # through the unordered pool backend.
+        workloads = AceSynthesizer(seq1_bounds()).sample(12)
+        for index, workload in enumerate(workloads):
+            workload.name = f"w{12 - index}"
+        config = CampaignConfig(fs_name="btrfs", device_blocks=SMALL_DEVICE_BLOCKS,
+                                chunk_size=3)
+        result = B3Campaign(config).run(list(workloads))
+        assert [r.workload.name for r in result.results] == \
+            [w.name for w in workloads]
+        pooled_config = CampaignConfig(fs_name="btrfs", device_blocks=SMALL_DEVICE_BLOCKS,
+                                       chunk_size=3, processes=2)
+        pooled = B3Campaign(pooled_config).run(list(workloads))
+        assert [r.workload.name for r in pooled.results] == \
+            [w.name for w in workloads]
+
+    def test_iter_workloads_is_lazy(self):
+        config = CampaignConfig(fs_name="btrfs", bounds=seq1_bounds(),
+                                device_blocks=SMALL_DEVICE_BLOCKS)
+        supply = B3Campaign(config).iter_workloads()
+        # An iterator, not a list — pulling one item does not build the space.
+        assert iter(supply) is iter(supply)
+        first = next(supply)
+        assert first.name.endswith("0000001")
+
+
+class TestClusterFacade:
+    def test_partition_of_empty_set_has_no_phantom_batches(self):
+        assert partition([], 5) == []
+
+    def test_cluster_runner_handles_empty_workload_set(self):
+        runner = ClusterRunner("btrfs", device_blocks=SMALL_DEVICE_BLOCKS)
+        result = runner.run([])
+        assert result.campaign.workloads_tested == 0
+        assert result.vm_stats == []
+        assert result.wall_clock_seconds == 0.0
+        assert result.projected_hours_on_cluster() == 0.0
+
+    def test_vm_seconds_are_measured_per_batch_not_uniform(self):
+        workloads = AceSynthesizer(seq1_bounds()).sample(24)
+        runner = ClusterRunner("btrfs", device_blocks=SMALL_DEVICE_BLOCKS, processes=2)
+        result = runner.run(workloads, num_vms=4)
+        assert len(result.vm_stats) == 4
+        assert all(stats.seconds > 0 for stats in result.vm_stats)
+        # Real measurements from a pool are wall clocks of distinct batches,
+        # not one elapsed time divided evenly.
+        assert len({round(stats.seconds, 9) for stats in result.vm_stats}) > 1
+        assert all(stats.worker.startswith("pid-") for stats in result.vm_stats)
+
+    def test_cluster_matches_serial_campaign_findings(self):
+        workloads = AceSynthesizer(seq1_bounds()).sample(30)
+        runner = ClusterRunner("btrfs", device_blocks=SMALL_DEVICE_BLOCKS)
+        clustered = runner.run(workloads, num_vms=3)
+        direct = run_campaign(_spec(), iter(workloads))
+        # VM batches are a round-robin split, so compare after sorting.
+        assert sorted(_fingerprint(r) for r in clustered.campaign.results) == \
+            sorted(_fingerprint(r) for r in direct.result.results)
