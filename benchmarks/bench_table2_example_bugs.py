@@ -6,7 +6,6 @@ detected with a consequence of the right class; the same workloads must pass
 on the patched file systems.
 """
 
-import pytest
 
 from repro.core import table2_bugs
 from repro.fs import BugConfig

@@ -14,7 +14,7 @@ specific bound sets the paper used for its five workload groups (Table 4).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Tuple
 
 from ..storage.block import DEFAULT_DEVICE_BLOCKS

@@ -10,7 +10,7 @@ used earlier in the workload, so only one of the pair is kept (paper §5.2).
 from __future__ import annotations
 
 import itertools
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Sequence, Tuple
 
 from ..workload.operations import Operation, OpKind, WriteRange
 from .bounds import Bounds

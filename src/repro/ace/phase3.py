@@ -10,7 +10,7 @@ touched, its parent directory, or a global ``sync``.
 from __future__ import annotations
 
 import itertools
-from typing import Iterator, List, Optional, Sequence, Tuple
+from typing import Iterator, List, Optional, Sequence
 
 from ..workload.operations import Operation, OpKind
 from .bounds import Bounds

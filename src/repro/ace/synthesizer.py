@@ -7,7 +7,7 @@ of the bounded workload space (paper §5.2, Figure 4).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterator, List, Optional, Sequence
 
 from ..workload.workload import Workload

@@ -28,9 +28,10 @@ from ..ace.synthesizer import AceSynthesizer
 from ..core.campaign import B3Campaign, CampaignConfig
 from ..core.known_bugs import all_bugs, get_bug
 from ..core.study import analyze
+from ..crashmonkey.checks import DEFAULT_REGISTRY
 from ..crashmonkey.harness import CrashMonkey
 from ..fs.bugs import BugConfig
-from ..fs.registry import available_filesystems, resolve_fs_name
+from ..fs.registry import available_filesystems
 from ..workload.language import format_workload, parse_workload
 
 _BOUND_PRESETS = {
@@ -61,6 +62,40 @@ def _bugs_from_args(args) -> Optional[BugConfig]:
     return None
 
 
+def _check_list(value: Optional[str]) -> Optional[List[str]]:
+    """Parse a comma-separated ``--checks``/``--skip-checks`` value."""
+    if value is None:
+        return None
+    names = [name.strip() for name in value.split(",") if name.strip()]
+    if not names:
+        # An empty value (e.g. an unset shell variable) must not silently
+        # select zero checks and pass everything.
+        raise argparse.ArgumentTypeError(
+            f"no check names given; available: {', '.join(DEFAULT_REGISTRY.names())}"
+        )
+    unknown = [name for name in names if name not in DEFAULT_REGISTRY]
+    if unknown:
+        raise argparse.ArgumentTypeError(
+            f"unknown check(s) {', '.join(unknown)}; "
+            f"available: {', '.join(DEFAULT_REGISTRY.names())}"
+        )
+    return names
+
+
+def _print_check_registry() -> int:
+    print(DEFAULT_REGISTRY.describe())
+    return 0
+
+
+def _add_check_selection_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--checks", type=_check_list, default=None, metavar="A,B",
+                        help="comma-separated consistency checks to run (default: all)")
+    parser.add_argument("--skip-checks", type=_check_list, default=None, metavar="C,D",
+                        help="comma-separated consistency checks to skip")
+    parser.add_argument("--list-checks", action="store_true",
+                        help="list the registered consistency checks and exit")
+
+
 def cmd_study(args) -> int:
     print(analyze().describe())
     return 0
@@ -87,11 +122,21 @@ def cmd_generate(args) -> int:
     return 0
 
 
+def cmd_list_checks(args) -> int:
+    return _print_check_registry()
+
+
 def cmd_test(args) -> int:
+    if args.list_checks:
+        return _print_check_registry()
+    if args.workload is None:
+        print("error: a workload file is required (or use --list-checks)", file=sys.stderr)
+        return 2
     with open(args.workload, "r", encoding="utf-8") as handle:
         text = handle.read()
     workload = parse_workload(text, name=args.workload)
-    harness = CrashMonkey(args.filesystem, bugs=_bugs_from_args(args))
+    harness = CrashMonkey(args.filesystem, bugs=_bugs_from_args(args),
+                          checks=args.checks, skip_checks=args.skip_checks or ())
     result = harness.test_workload(workload)
     print(result.summary())
     for report in result.bug_reports:
@@ -100,12 +145,16 @@ def cmd_test(args) -> int:
 
 
 def cmd_campaign(args) -> int:
+    if args.list_checks:
+        return _print_check_registry()
     config = CampaignConfig(
         fs_name=args.filesystem,
         bugs=_bugs_from_args(args),
         bounds=_bounds_from_args(args),
         max_workloads=args.limit,
         sample=args.sample,
+        checks=args.checks,
+        skip_checks=args.skip_checks or (),
         processes=args.processes,
         chunk_size=args.chunk_size,
     )
@@ -167,10 +216,14 @@ def build_parser() -> argparse.ArgumentParser:
     generate.add_argument("--limit", type=int, default=None)
     generate.add_argument("--print-workloads", action="store_true")
 
+    sub.add_parser("list-checks", help="list the registered consistency checks")
+
     test = sub.add_parser("test", help="run one workload file through CrashMonkey")
-    test.add_argument("workload", help="path to a workload-language file")
+    test.add_argument("workload", nargs="?", default=None,
+                      help="path to a workload-language file")
     test.add_argument("--filesystem", "-f", default="btrfs", choices=_fs_choices())
     test.add_argument("--patched", action="store_true", help="test the patched (bug-free) file system")
+    _add_check_selection_args(test)
 
     campaign = sub.add_parser("campaign", help="generate and test a bounded workload space")
     campaign.add_argument("--filesystem", "-f", default="btrfs", choices=_fs_choices())
@@ -186,6 +239,7 @@ def build_parser() -> argparse.ArgumentParser:
                           help="workloads per dispatched chunk (default: engine default)")
     campaign.add_argument("--progress", action="store_true",
                           help="print a progress line per completed chunk")
+    _add_check_selection_args(campaign)
 
     reproduce = sub.add_parser("reproduce", help="replay a bug from the known-bug database")
     reproduce.add_argument("bug_id", help="e.g. known-5 or new-1")
@@ -204,6 +258,7 @@ def _fs_choices() -> List[str]:
 _COMMANDS = {
     "study": cmd_study,
     "list-bugs": cmd_list_bugs,
+    "list-checks": cmd_list_checks,
     "generate": cmd_generate,
     "test": cmd_test,
     "campaign": cmd_campaign,

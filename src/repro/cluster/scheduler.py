@@ -10,8 +10,8 @@ take at a given scale (§6.4).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Iterable, List, Sequence
+from dataclasses import dataclass
+from typing import List, Sequence
 
 from ..workload.workload import Workload
 

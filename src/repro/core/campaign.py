@@ -15,7 +15,7 @@ O(workload space).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Iterator, List, Optional
+from typing import Iterable, Iterator, List, Optional, Sequence
 
 from ..ace.bounds import Bounds, seq1_bounds, seq2_bounds
 from ..ace.synthesizer import AceSynthesizer
@@ -42,6 +42,10 @@ class CampaignConfig:
     sample: bool = False
     device_blocks: int = 4096
     only_last_checkpoint: bool = False
+    #: consistency checks to run, by registered name (None = all registered)
+    checks: Optional[Sequence[str]] = None
+    #: consistency checks to skip, by registered name
+    skip_checks: Sequence[str] = ()
     #: worker processes; 1 = serial in-process, >1 = process-pool backend
     processes: int = 1
     #: workloads per dispatched chunk (None = engine default)
@@ -61,6 +65,8 @@ class B3Campaign:
             bugs=config.bugs,
             device_blocks=config.device_blocks,
             only_last_checkpoint=config.only_last_checkpoint,
+            checks=tuple(config.checks) if config.checks is not None else None,
+            skip_checks=tuple(config.skip_checks),
         )
         self._harness: Optional[CrashMonkey] = None
         #: engine bookkeeping of the most recent :meth:`run` (chunk stats, wall clock)

@@ -84,6 +84,18 @@ class CampaignResult:
         check = sum(result.check_seconds for result in self.results)
         return profile, replay, check
 
+    def check_timings(self) -> Dict[str, float]:
+        """Per-check wall-clock attribution summed across every workload.
+
+        The per-component breakdown of the checking phase: check name ->
+        total seconds spent in that check over the whole campaign.
+        """
+        totals: Dict[str, float] = {}
+        for result in self.results:
+            for name, seconds in result.check_timings.items():
+                totals[name] = totals.get(name, 0.0) + seconds
+        return totals
+
     def summary(self) -> str:
         groups = self.grouped_reports()
         return (

@@ -12,7 +12,6 @@ from collections import Counter
 from dataclasses import dataclass, field
 from typing import Dict, List, Tuple
 
-from ..workload.operations import OpKind
 from .known_bugs import KnownBug, known_bugs
 
 

@@ -1,16 +1,31 @@
 """CrashMonkey — record/replay crash testing with automatic checking."""
 
-from .checker import AutoChecker
+from .checker import AutoChecker, CheckPipeline
+from .checks import (
+    DEFAULT_REGISTRY,
+    LEGACY_CHECKS,
+    Check,
+    CheckContext,
+    CheckRegistry,
+    register,
+)
 from .harness import CrashMonkey
 from .oracle import Oracle
 from .recorder import WorkloadProfile, WorkloadRecorder
 from .replayer import CrashState, CrashStateGenerator
-from .report import BugReport, CrashTestResult, Mismatch
+from .report import BugReport, CrashTestResult, Mismatch, Severity
 from .tracker import PersistenceTracker, TrackedDir, TrackedFile, TrackerView
 
 __all__ = [
     "CrashMonkey",
     "AutoChecker",
+    "CheckPipeline",
+    "Check",
+    "CheckContext",
+    "CheckRegistry",
+    "DEFAULT_REGISTRY",
+    "LEGACY_CHECKS",
+    "register",
     "Oracle",
     "WorkloadProfile",
     "WorkloadRecorder",
@@ -19,6 +34,7 @@ __all__ = [
     "BugReport",
     "CrashTestResult",
     "Mismatch",
+    "Severity",
     "PersistenceTracker",
     "TrackedFile",
     "TrackedDir",

@@ -1,0 +1,36 @@
+"""Mount check: the crash state must mount (its recovery must succeed)."""
+
+from __future__ import annotations
+
+from typing import List
+
+from ...fs.bugs import Consequence
+from ..report import Mismatch
+from .base import CheckContext, register
+
+
+@register
+class MountCheck:
+    """The recovered crash state must be mountable; fsck output is attached."""
+
+    name = "mount"
+    requires_mount = False
+    description = "crash state must mount and recover; attaches fsck output on failure"
+
+    def run(self, ctx: CheckContext) -> List[Mismatch]:
+        crash_state = ctx.crash_state
+        if crash_state.mountable:
+            return []
+        detail = str(crash_state.mount_error) if crash_state.mount_error else "mount failed"
+        fsck_text = ""
+        if crash_state.fsck_report is not None:
+            fsck_text = f"; fsck: {'repaired' if crash_state.fsck_report.repaired else 'failed'}"
+        return [
+            Mismatch(
+                check="mount",
+                consequence=Consequence.UNMOUNTABLE,
+                path="",
+                expected="file system mounts and recovers after the crash",
+                actual=f"mount failed: {detail}{fsck_text}",
+            )
+        ]

@@ -1,0 +1,79 @@
+"""Write checks: the recovered file system must accept new writes.
+
+New files can be created, and persisted directories can be emptied and
+removed (catches the "un-removable directory" bugs).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ...errors import FileSystemError
+from ...fs.bugs import Consequence
+from ..report import Mismatch
+from .base import CheckContext, register
+
+
+@register
+class WriteCheck:
+    """Create/remove probes against the recovered file system."""
+
+    name = "write"
+    requires_mount = True
+    description = "new files can be created and persisted directories emptied/removed"
+
+    def run(self, ctx: CheckContext) -> List[Mismatch]:
+        fs = ctx.fs
+        mismatches: List[Mismatch] = []
+
+        # New files must be creatable after recovery.
+        probe = "__crashmonkey_write_check__"
+        try:
+            fs.creat(probe)
+            fs.unlink(probe)
+        except FileSystemError as exc:
+            mismatches.append(
+                Mismatch(
+                    check="write",
+                    consequence=Consequence.CORRUPTION,
+                    path=probe,
+                    expected="new files can be created after recovery",
+                    actual=f"create failed: {exc}",
+                )
+            )
+
+        # Persisted directories must be removable once emptied.
+        tracked_dirs = sorted(
+            (record for record in ctx.view.dirs.values() if record.path),
+            key=lambda record: record.path.count("/"),
+            reverse=True,
+        )
+        for record in tracked_dirs:
+            if fs.lookup_state(record.path) is None:
+                continue
+            try:
+                self._remove_tree(fs, record.path)
+            except FileSystemError as exc:
+                mismatches.append(
+                    Mismatch(
+                        check="write",
+                        consequence=Consequence.DIR_UNREMOVABLE,
+                        path=record.path,
+                        expected="directory can be emptied and removed after recovery",
+                        actual=f"removal failed: {exc}",
+                    )
+                )
+        return mismatches
+
+    def _remove_tree(self, fs, path: str) -> None:
+        state = fs.lookup_state(path)
+        if state is None:
+            # A stale entry (name present, inode missing): unlink drops it.
+            fs.unlink(path)
+            return
+        if state.ftype == "dir":
+            for child in list(fs.listdir(path)):
+                self._remove_tree(fs, f"{path}/{child}" if path else child)
+            fs.rmdir(path)
+        else:
+            fs.unlink(path)

@@ -16,13 +16,13 @@ POSIX-ish API and the block-device write stream.
 from __future__ import annotations
 
 import time
-from typing import Iterator, List, Optional
+from typing import Iterable, Iterator, List, Optional, Sequence
 
 from ..fs.bugs import BugConfig
 from ..fs.registry import models, resolve_fs_name
 from ..storage.block import DEFAULT_DEVICE_BLOCKS
 from ..workload.workload import Workload
-from .checker import AutoChecker
+from .checker import CheckPipeline
 from .recorder import WorkloadProfile, WorkloadRecorder
 from .replayer import CrashStateGenerator
 from .report import BugReport, CrashTestResult
@@ -35,6 +35,8 @@ class CrashMonkey:
                  device_blocks: int = DEFAULT_DEVICE_BLOCKS,
                  only_last_checkpoint: bool = False,
                  run_write_checks: bool = True,
+                 checks: Optional[Sequence[str]] = None,
+                 skip_checks: Iterable[str] = (),
                  kernel_version: str = "4.16"):
         """
         Args:
@@ -46,7 +48,10 @@ class CrashMonkey:
                 is crash-tested.  This mirrors the paper's testing strategy of
                 running seq-1 before seq-2 before seq-3, which makes earlier
                 crash points redundant.
-            run_write_checks: enable the write checks (create/remove probes).
+            run_write_checks: legacy toggle for the write checks; equivalent
+                to putting ``"write"`` in ``skip_checks``.
+            checks: names of registered checks to run (None = all).
+            skip_checks: names of registered checks to skip.
             kernel_version: label attached to bug reports.
         """
         self.fs_name = resolve_fs_name(fs_name)
@@ -55,7 +60,8 @@ class CrashMonkey:
         self.only_last_checkpoint = only_last_checkpoint
         self.kernel_version = kernel_version
         self.recorder = WorkloadRecorder(self.fs_name, self.bugs, device_blocks=device_blocks)
-        self.checker = AutoChecker(run_write_checks=run_write_checks)
+        self.checker = CheckPipeline(checks=checks, skip_checks=skip_checks,
+                                     run_write_checks=run_write_checks)
 
     # ------------------------------------------------------------------ public API
 
@@ -92,8 +98,10 @@ class CrashMonkey:
             )
 
             check_start = time.perf_counter()
-            mismatches = self.checker.check(profile, crash_state)
+            mismatches, check_timings = self.checker.check_timed(profile, crash_state)
             result.check_seconds += time.perf_counter() - check_start
+            for name, seconds in check_timings.items():
+                result.check_timings[name] = result.check_timings.get(name, 0.0) + seconds
             result.checkpoints_tested += 1
 
             if mismatches:

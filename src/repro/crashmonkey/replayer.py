@@ -16,7 +16,6 @@ from typing import Optional
 
 from ..errors import UnmountableError
 from ..fs import fsck
-from ..fs.bugs import BugConfig
 from ..fs.registry import get_fs_class
 from ..storage.cow_device import CowDevice
 from ..storage.replay import replay_until_checkpoint

@@ -8,11 +8,70 @@ Figure 2's "Output").
 
 from __future__ import annotations
 
+import enum
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from ..fs.bugs import Consequence
 from ..workload.workload import Workload
+
+
+class Severity(enum.IntEnum):
+    """Public severity ordering over consequence classes.
+
+    Lower values are more severe; ``Severity`` members therefore sort
+    most-severe-first, and ``min()`` over mismatch severities picks the
+    primary one.  ``HARNESS_ERROR`` outranks everything: it means the
+    checker could not do its job, so no conclusion about the crash state
+    is trustworthy.
+    """
+
+    HARNESS_ERROR = 0
+    UNMOUNTABLE = 1
+    DIR_UNREMOVABLE = 2
+    ATOMICITY = 3
+    FILE_MISSING = 4
+    DATA_LOSS = 5
+    WRONG_SIZE = 6
+    CORRUPTION = 7
+    DATA_INCONSISTENCY = 8
+
+    @property
+    def consequence(self) -> str:
+        """The consequence string this severity level ranks."""
+        return _SEVERITY_TO_CONSEQUENCE[self]
+
+    @classmethod
+    def of(cls, consequence: str) -> "Severity":
+        """Severity of a consequence string (raises ``KeyError`` if unknown)."""
+        return _CONSEQUENCE_TO_SEVERITY[consequence]
+
+    @classmethod
+    def rank_of(cls, consequence: str) -> int:
+        """Sort key for a consequence string; unknown strings rank last."""
+        severity = _CONSEQUENCE_TO_SEVERITY.get(consequence)
+        return int(severity) if severity is not None else len(cls)
+
+
+#: Consequence class reported when the harness itself failed (e.g. a missing
+#: oracle or tracker view); not one of the paper's Table-1 classes.
+HARNESS_ERROR = "harness internal error"
+
+_SEVERITY_TO_CONSEQUENCE: Dict[Severity, str] = {
+    Severity.HARNESS_ERROR: HARNESS_ERROR,
+    Severity.UNMOUNTABLE: Consequence.UNMOUNTABLE,
+    Severity.DIR_UNREMOVABLE: Consequence.DIR_UNREMOVABLE,
+    Severity.ATOMICITY: Consequence.ATOMICITY,
+    Severity.FILE_MISSING: Consequence.FILE_MISSING,
+    Severity.DATA_LOSS: Consequence.DATA_LOSS,
+    Severity.WRONG_SIZE: Consequence.WRONG_SIZE,
+    Severity.CORRUPTION: Consequence.CORRUPTION,
+    Severity.DATA_INCONSISTENCY: Consequence.DATA_INCONSISTENCY,
+}
+
+_CONSEQUENCE_TO_SEVERITY: Dict[str, Severity] = {
+    consequence: severity for severity, consequence in _SEVERITY_TO_CONSEQUENCE.items()
+}
 
 
 @dataclass(frozen=True)
@@ -25,6 +84,11 @@ class Mismatch:
     expected: str              #: human-readable expected state
     actual: str                #: human-readable observed state
 
+    @property
+    def severity(self) -> Optional[Severity]:
+        """Severity of this mismatch's consequence (None if unknown)."""
+        return _CONSEQUENCE_TO_SEVERITY.get(self.consequence)
+
     def describe(self) -> str:
         return (
             f"[{self.check}] {self.consequence}: {self.path or '<file system>'}\n"
@@ -33,16 +97,12 @@ class Mismatch:
         )
 
 
-#: Ordering used to pick the "primary" consequence of a report (most severe first).
-_SEVERITY = (
-    Consequence.UNMOUNTABLE,
-    Consequence.DIR_UNREMOVABLE,
-    Consequence.ATOMICITY,
-    Consequence.FILE_MISSING,
-    Consequence.DATA_LOSS,
-    Consequence.WRONG_SIZE,
-    Consequence.CORRUPTION,
-    Consequence.DATA_INCONSISTENCY,
+#: Legacy ordering used to pick the "primary" consequence of a report (most
+#: severe first).  Kept for backwards compatibility; :class:`Severity` is the
+#: public API and this tuple is derived from it.
+_SEVERITY = tuple(
+    severity.consequence for severity in sorted(Severity)
+    if severity is not Severity.HARNESS_ERROR
 )
 
 
@@ -60,13 +120,19 @@ class BugReport:
     notes: str = ""
 
     @property
+    def primary(self) -> Optional[Mismatch]:
+        """The most severe mismatch (stable: first wins among equals)."""
+        if not self.mismatches:
+            return None
+        return min(self.mismatches, key=lambda m: Severity.rank_of(m.consequence))
+
+    @property
     def consequence(self) -> str:
         """The most severe consequence among the mismatches."""
-        found = {mismatch.consequence for mismatch in self.mismatches}
-        for consequence in _SEVERITY:
-            if consequence in found:
-                return consequence
-        return Consequence.CORRUPTION
+        primary = self.primary
+        if primary is None or primary.severity is None:
+            return Consequence.CORRUPTION
+        return primary.consequence
 
     @property
     def consequences(self) -> Tuple[str, ...]:
@@ -121,6 +187,9 @@ class CrashTestResult:
     profile_seconds: float = 0.0
     replay_seconds: float = 0.0
     check_seconds: float = 0.0
+    #: per-check wall-clock attribution, check name -> seconds (summed over
+    #: every crash point tested for this workload)
+    check_timings: Dict[str, float] = field(default_factory=dict)
     #: resource accounting (paper §6.5)
     recorded_requests: int = 0
     recorded_bytes: int = 0

@@ -66,6 +66,7 @@ class TrackedDir:
     ino: int
     path: str
     children: Dict[str, int] = field(default_factory=dict)
+    xattrs: Tuple = ()
     last_checkpoint: int = 0
 
     def expected_description(self) -> str:
@@ -242,6 +243,7 @@ class PersistenceTracker:
             child_state = self.fs.lookup_state(child_path)
             children[child] = child_state.ino if child_state is not None else 0
         record.children = children
+        record.xattrs = state.xattrs
         record.last_checkpoint = checkpoint_id
         # Persisting a directory also persists its symlink entries' targets
         # (the dentry effectively *is* the target), so track those too.

@@ -23,8 +23,8 @@ from __future__ import annotations
 import os
 import time
 from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, Iterator, List, Optional, Protocol, Sequence, Set, Tuple
+from dataclasses import dataclass
+from typing import Iterable, Iterator, List, Optional, Protocol, Set, Tuple
 
 from ..crashmonkey.harness import CrashMonkey
 from ..crashmonkey.report import CrashTestResult

@@ -12,7 +12,7 @@ which is B3's fixed-initial-state bound.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Tuple
 
 from ..crashmonkey.harness import CrashMonkey
 from ..fs.bugs import BugConfig
@@ -28,6 +28,15 @@ class HarnessSpec:
     device_blocks: int = DEFAULT_DEVICE_BLOCKS
     only_last_checkpoint: bool = False
     run_write_checks: bool = True
+    #: check selection, by registered name (None = every registered check);
+    #: plain tuples of strings so the spec stays hashable and pickleable —
+    #: pool workers rebuild identical pipelines from their own registry.
+    #: Custom checks must therefore be registered at import time of a module
+    #: the workers also import; under the ``spawn`` start method a check
+    #: registered only in the parent process does not exist in workers
+    #: (selecting it by name raises ``KeyError`` there).
+    checks: Optional[Tuple[str, ...]] = None
+    skip_checks: Tuple[str, ...] = ()
     kernel_version: str = "4.16"
 
     def build(self) -> CrashMonkey:
@@ -38,5 +47,7 @@ class HarnessSpec:
             device_blocks=self.device_blocks,
             only_last_checkpoint=self.only_last_checkpoint,
             run_write_checks=self.run_write_checks,
+            checks=self.checks,
+            skip_checks=self.skip_checks,
             kernel_version=self.kernel_version,
         )

@@ -22,8 +22,8 @@ data blocks and never embedded in the metadata JSON.
 from __future__ import annotations
 
 import json
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
 
 from ..errors import CorruptionError, FsNoSpaceError
 from ..storage.block import BLOCK_SIZE

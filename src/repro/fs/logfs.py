@@ -12,7 +12,7 @@ log entry records or how replay applies it (see :mod:`repro.fs.bugs`).
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Set, Tuple
+from typing import Optional, Set, Tuple
 
 from ..storage.block import BLOCK_SIZE, blocks_needed
 from .base import AbstractFileSystem
@@ -241,7 +241,6 @@ class LogFS(AbstractFileSystem):
         path = record["path"]
         rewritten_parents = []
         changed = False
-        prefix_old = ""
         prefix_new = ""
         for parent in record.get("parents", []):
             name = parent["path"].rsplit("/", 1)[-1]
@@ -252,7 +251,6 @@ class LogFS(AbstractFileSystem):
                 changed = True
             else:
                 new_path = f"{prefix_new}/{name}" if prefix_new else name
-            prefix_old = parent["path"]
             prefix_new = new_path
             rewritten_parents.append({"path": new_path, "ino": parent_ino})
         if not changed:

@@ -13,7 +13,7 @@ every fsync/fdatasync/sync/msync in the workload returns.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Sequence, Tuple
 
 from .block import BLOCK_SIZE
 from .io_request import IOFlag, IOKind, IORequest

@@ -26,10 +26,20 @@ from .operations import Operation, OpKind
 from .workload import Workload
 
 _BOOL_TRUE = {"1", "true", "yes", "keep", "keep_size", "-k"}
+_BOOL_FALSE = {"0", "false", "no", "none", "nokeep", "no_keep_size"}
 
 
-def _parse_bool(token: str) -> bool:
-    return token.strip().lower() in _BOOL_TRUE
+def _parse_bool(token: str, line_no: int = 0) -> bool:
+    """Parse an explicit boolean token; typos must not silently mean False."""
+    lowered = token.strip().lower()
+    if lowered in _BOOL_TRUE:
+        return True
+    if lowered in _BOOL_FALSE:
+        return False
+    raise WorkloadError(
+        f"line {line_no}: expected a boolean token "
+        f"({'/'.join(sorted(_BOOL_TRUE))} or {'/'.join(sorted(_BOOL_FALSE))}), got {token!r}"
+    )
 
 
 def _parse_int(token: str, line_no: int) -> int:
@@ -67,7 +77,7 @@ def parse_line(line: str, line_no: int = 0) -> Optional[Operation]:
         return Operation(OpKind.MWRITE, (args[0], _parse_int(args[1], line_no), _parse_int(args[2], line_no)))
     if op in (OpKind.FALLOC, "fallocate"):
         _require(args, 3, op, line_no)
-        keep = len(args) > 3 and _parse_bool(args[3])
+        keep = len(args) > 3 and _parse_bool(args[3], line_no)
         return Operation(
             OpKind.FALLOC,
             (args[0], _parse_int(args[1], line_no), _parse_int(args[2], line_no)),
@@ -75,7 +85,7 @@ def parse_line(line: str, line_no: int = 0) -> Optional[Operation]:
         )
     if op in (OpKind.FZERO, "zero_range"):
         _require(args, 3, op, line_no)
-        keep = len(args) > 3 and _parse_bool(args[3])
+        keep = len(args) > 3 and _parse_bool(args[3], line_no)
         return Operation(
             OpKind.FZERO,
             (args[0], _parse_int(args[1], line_no), _parse_int(args[2], line_no)),

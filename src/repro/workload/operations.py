@@ -12,7 +12,7 @@ Operations are plain data (name + arguments); the executor in
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Dict, Optional, Tuple
 
 

@@ -17,7 +17,7 @@ from dataclasses import dataclass, field
 from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from ..errors import WorkloadError
-from .operations import Operation, OpKind
+from .operations import Operation
 
 
 @dataclass

@@ -16,7 +16,7 @@ from repro.ace import (
     seq3_nested_bounds,
 )
 from repro.ace.phase3 import add_persistence_points
-from repro.workload import Operation, OpKind, ops
+from repro.workload import OpKind, ops
 
 
 class TestPhase1:

@@ -70,3 +70,66 @@ def test_reproduce_patched_returns_nonzero(capsys):
 def test_parser_rejects_unknown_command():
     with pytest.raises(SystemExit):
         build_parser().parse_args(["frobnicate"])
+
+
+class TestCheckSelection:
+    def test_list_checks_subcommand(self, capsys):
+        assert main(["list-checks"]) == 0
+        out = capsys.readouterr().out
+        for name in ("mount", "read", "directory", "atomicity", "write", "hardlink", "xattr"):
+            assert name in out
+
+    def test_list_checks_flag_on_test_and_campaign(self, capsys):
+        assert main(["test", "--list-checks"]) == 0
+        assert "hardlink" in capsys.readouterr().out
+        assert main(["campaign", "--list-checks"]) == 0
+        assert "xattr" in capsys.readouterr().out
+
+    def test_test_without_workload_or_list_checks_errors(self, capsys):
+        assert main(["test"]) == 2
+        assert "workload file" in capsys.readouterr().err
+
+    def test_checks_flag_restricts_the_pipeline(self, tmp_path, capsys):
+        workload_file = tmp_path / "figure1.wl"
+        workload_file.write_text(
+            "creat foo\nlink foo bar\nsync\nunlink bar\ncreat bar\nfsync bar\n"
+        )
+        # The figure-1 workload produces an unmountable state; restricting the
+        # pipeline to the read check makes the unmountable state invisible.
+        assert main(["test", str(workload_file), "--checks", "read"]) == 0
+        # The mount check alone still catches it.
+        assert main(["test", str(workload_file), "--checks", "mount"]) == 1
+
+    def test_skip_checks_flag(self, tmp_path):
+        workload_file = tmp_path / "dir-bug.wl"
+        workload_file.write_text(
+            "mkdir A\ncreat A/foo\nsync\ncreat A/bar\nfsync A\nfsync A/bar\n"
+        )
+        assert main(["test", str(workload_file)]) == 1
+        assert main([
+            "test", str(workload_file),
+            "--skip-checks", "write,directory,read,hardlink,xattr",
+        ]) == 0
+
+    def test_unknown_check_name_is_rejected(self, tmp_path):
+        workload_file = tmp_path / "w.wl"
+        workload_file.write_text("creat foo\nfsync foo\n")
+        with pytest.raises(SystemExit):
+            main(["test", str(workload_file), "--checks", "raed"])
+
+    def test_empty_checks_value_is_rejected(self, tmp_path):
+        # An empty selection must not silently run zero checks and pass.
+        workload_file = tmp_path / "w.wl"
+        workload_file.write_text("creat foo\nfsync foo\n")
+        with pytest.raises(SystemExit):
+            main(["test", str(workload_file), "--checks", ""])
+        with pytest.raises(SystemExit):
+            main(["test", str(workload_file), "--checks", ","])
+
+    def test_campaign_with_check_selection(self, capsys):
+        code = main([
+            "campaign", "--filesystem", "btrfs", "--preset", "seq-1",
+            "--limit", "15", "--checks", "mount,read",
+        ])
+        assert code in (0, 1)
+        assert "workloads" in capsys.readouterr().out

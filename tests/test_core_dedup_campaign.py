@@ -1,8 +1,7 @@
 """Figure-5 post-processing and B3 campaigns."""
 
-import pytest
 
-from repro.ace import Bounds, seq1_bounds
+from repro.ace import seq1_bounds
 from repro.core import (
     B3Campaign,
     CampaignConfig,

@@ -1,8 +1,8 @@
 """AutoChecker behaviour: the read, write, directory and atomicity checks."""
 
-import pytest
 
 from repro.crashmonkey import AutoChecker, CrashStateGenerator, WorkloadRecorder
+from repro.crashmonkey.report import HARNESS_ERROR
 from repro.fs import BugConfig, Consequence
 from repro.workload import parse_workload
 
@@ -136,12 +136,27 @@ class TestAtomicityCheck:
 
 
 class TestCheckerEdgeCases:
-    def test_unknown_checkpoint_produces_no_mismatches(self):
+    def test_unknown_checkpoint_is_an_explicit_harness_error(self):
+        """A recording bug must never masquerade as a passing crash state."""
         recorder = WorkloadRecorder("btrfs", BugConfig.none(), device_blocks=SMALL_DEVICE_BLOCKS)
         profile = recorder.profile(parse_workload("creat foo\nfsync foo"))
         crash_state = CrashStateGenerator(profile).generate(1)
         crash_state.checkpoint_id = 99  # no oracle/tracker view for this id
-        assert AutoChecker().check(profile, crash_state) == []
+        mismatches = AutoChecker().check(profile, crash_state)
+        assert len(mismatches) == 1
+        assert mismatches[0].check == "pipeline"
+        assert mismatches[0].consequence == HARNESS_ERROR
+        assert "checkpoint 99" in mismatches[0].actual
+
+    def test_missing_tracker_view_alone_is_reported(self):
+        recorder = WorkloadRecorder("btrfs", BugConfig.none(), device_blocks=SMALL_DEVICE_BLOCKS)
+        profile = recorder.profile(parse_workload("creat foo\nfsync foo"))
+        crash_state = CrashStateGenerator(profile).generate(1)
+        del profile.tracker_views[1]
+        mismatches = AutoChecker().check(profile, crash_state)
+        assert len(mismatches) == 1
+        assert "tracker view" in mismatches[0].actual
+        assert "oracle" not in mismatches[0].actual.split("tracker view")[0]
 
     def test_mismatch_descriptions_are_informative(self):
         mismatches = _check(

@@ -156,6 +156,35 @@ class TestProcessPoolEngine:
         with pytest.raises(ValueError):
             ProcessPoolBackend(processes=2, max_inflight=0)
 
+    def test_check_selection_propagates_to_pool_workers(self):
+        """Workers rebuild identical pipelines from the pickled spec."""
+        workloads = list(AceSynthesizer(seq1_bounds()).sample(40))
+        mount_only = _spec(checks=("mount",))
+        serial = run_campaign(mount_only, iter(workloads), label="seq-1", processes=1)
+        pooled = run_campaign(mount_only, iter(workloads), label="seq-1",
+                              processes=2, chunk_size=8)
+        assert [_fingerprint(r) for r in serial.result.results] == \
+            [_fingerprint(r) for r in pooled.result.results]
+        # Every surviving mismatch came from the one selected check, and the
+        # per-check attribution only mentions it.
+        for result in pooled.result.results:
+            assert set(result.check_timings) <= {"mount"}
+            for report in result.bug_reports:
+                assert {m.check for m in report.mismatches} == {"mount"}
+
+    def test_skip_checks_spec_changes_findings(self):
+        workloads = list(AceSynthesizer(seq1_bounds()).sample(40))
+        full = run_campaign(_spec(), iter(workloads), label="seq-1", processes=1)
+        skipped = run_campaign(_spec(skip_checks=("write", "read", "directory")),
+                               iter(workloads), label="seq-1", processes=1)
+        skipped_checks = {m.check
+                          for result in skipped.result.results
+                          for report in result.bug_reports
+                          for m in report.mismatches}
+        assert "write" not in skipped_checks
+        assert "read" not in skipped_checks
+        assert skipped.result.failing_workloads <= full.result.failing_workloads
+
 
 class TestCampaignFacade:
     def test_campaign_runs_through_the_engine(self):

@@ -1,7 +1,7 @@
 """Offline checker (fsck) behaviour."""
 
 from repro.fs import BugConfig, LogFS, check_device, repair
-from repro.storage import BlockDevice, CowDevice, RecordingDevice, replay_until_checkpoint
+from repro.storage import BlockDevice, replay_until_checkpoint
 
 from conftest import SMALL_DEVICE_BLOCKS, make_mounted_fs
 

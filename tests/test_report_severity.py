@@ -1,0 +1,102 @@
+"""Severity ordering: the public ``Severity`` API and the legacy ``_SEVERITY`` tuple."""
+
+import pytest
+
+from repro.crashmonkey import BugReport, Mismatch, Severity
+from repro.crashmonkey.report import _SEVERITY, HARNESS_ERROR
+from repro.fs import Consequence
+from repro.workload import parse_workload
+
+
+def _mismatch(consequence, path="p", check="read"):
+    return Mismatch(check=check, consequence=consequence, path=path,
+                    expected="e", actual="a")
+
+
+def _report(mismatches):
+    return BugReport(
+        workload=parse_workload("creat foo\nfsync foo"),
+        fs_type="logfs",
+        fs_model="btrfs",
+        checkpoint_id=1,
+        crash_point="fsync foo",
+        mismatches=mismatches,
+    )
+
+
+class TestSeverityOrdering:
+    def test_severity_sorts_most_severe_first(self):
+        ordered = [severity.consequence for severity in sorted(Severity)]
+        assert ordered[0] == HARNESS_ERROR
+        assert ordered[1] == Consequence.UNMOUNTABLE
+        assert ordered[-1] == Consequence.DATA_INCONSISTENCY
+
+    def test_severity_agrees_with_legacy_tuple(self):
+        """The old ``_SEVERITY`` tuple and the new API rank identically."""
+        assert list(_SEVERITY) == [
+            severity.consequence for severity in sorted(Severity)
+            if severity is not Severity.HARNESS_ERROR
+        ]
+        for index, consequence in enumerate(_SEVERITY):
+            for later in _SEVERITY[index + 1:]:
+                assert Severity.of(consequence) < Severity.of(later)
+
+    def test_every_consequence_class_has_a_severity(self):
+        for consequence in Consequence.ALL:
+            assert Severity.of(consequence).consequence == consequence
+
+    def test_of_rejects_unknown_strings(self):
+        with pytest.raises(KeyError):
+            Severity.of("not a consequence")
+
+    def test_rank_of_puts_unknown_strings_last(self):
+        assert Severity.rank_of("not a consequence") > max(int(s) for s in Severity)
+
+    def test_mismatch_severity_property(self):
+        assert _mismatch(Consequence.UNMOUNTABLE).severity is Severity.UNMOUNTABLE
+        assert _mismatch("not a consequence").severity is None
+
+
+class TestBugReportPrimary:
+    def test_primary_is_the_most_severe_mismatch(self):
+        low = _mismatch(Consequence.DATA_INCONSISTENCY)
+        high = _mismatch(Consequence.FILE_MISSING)
+        report = _report([low, high])
+        assert report.primary is high
+        assert report.consequence == Consequence.FILE_MISSING
+
+    def test_primary_is_stable_among_equal_severities(self):
+        first = _mismatch(Consequence.DATA_LOSS, path="a")
+        second = _mismatch(Consequence.DATA_LOSS, path="b")
+        assert _report([first, second]).primary is first
+        assert _report([second, first]).primary is second
+
+    def test_primary_of_empty_report_is_none(self):
+        report = _report([])
+        assert report.primary is None
+        assert report.consequence == Consequence.CORRUPTION
+
+    def test_unknown_consequences_fall_back_to_corruption(self):
+        report = _report([_mismatch("made up")])
+        assert report.consequence == Consequence.CORRUPTION
+
+    def test_known_consequence_outranks_unknown(self):
+        known = _mismatch(Consequence.WRONG_SIZE)
+        report = _report([_mismatch("made up"), known])
+        assert report.primary is known
+        assert report.consequence == Consequence.WRONG_SIZE
+
+    def test_harness_error_outranks_everything(self):
+        report = _report([
+            _mismatch(Consequence.UNMOUNTABLE),
+            _mismatch(HARNESS_ERROR, check="pipeline"),
+        ])
+        assert report.consequence == HARNESS_ERROR
+
+    def test_legacy_tuple_ordering_matches_primary_choice(self):
+        """Walking the legacy tuple and taking min() over Severity agree."""
+        mismatches = [_mismatch(consequence) for consequence in reversed(_SEVERITY)]
+        report = _report(mismatches)
+        found = {mismatch.consequence for mismatch in mismatches}
+        legacy_choice = next(c for c in _SEVERITY if c in found)
+        assert report.consequence == legacy_choice

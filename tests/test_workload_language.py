@@ -32,6 +32,17 @@ class TestParseLine:
         op = parse_line("falloc foo 0 4096")
         assert op.kwargs_dict["keep_size"] is False
 
+    def test_explicit_false_boolean_tokens(self):
+        for token in ("0", "false", "no"):
+            op = parse_line(f"falloc foo 0 4096 {token}")
+            assert op.kwargs_dict["keep_size"] is False
+
+    def test_boolean_typo_raises_instead_of_meaning_false(self):
+        with pytest.raises(WorkloadError, match="boolean token"):
+            parse_line("falloc foo 0 4096 ture", line_no=3)
+        with pytest.raises(WorkloadError, match="line 7"):
+            parse_line("zero_range foo 0 4096 kep_size", line_no=7)
+
     def test_msync_with_and_without_range(self):
         assert parse_line("msync foo").args == ("foo",)
         assert parse_line("msync foo 0 65536").args == ("foo", 0, 65536)
