@@ -1,0 +1,89 @@
+"""Crash plans: reorder-scenario blow-up, cost, and coverage vs prefix.
+
+The reorder plan multiplies crash states per persistence point by dropping
+bounded subsets of in-flight writes.  This benchmark shows (a) how the bound
+controls the scenario blow-up, (b) what the extra states cost relative to the
+prefix plan, and (c) that the extra states buy real coverage: the flashfs
+missing-post-commit-flush bug is invisible to prefix and found by reorder.
+
+Runs with tiny bounds so it doubles as the CI replay-cost regression smoke.
+"""
+
+import time
+
+from repro.crashmonkey import CrashMonkey, CrashStateGenerator, ReorderPlanner, WorkloadRecorder
+from repro.fs import BugConfig
+from repro.workload import parse_workload
+
+from conftest import BENCH_DEVICE_BLOCKS, print_table
+
+#: Hits the flashfs barrier bug: the fsync commit record stays in-flight.
+BARRIER_WORKLOAD = """
+creat foo
+write foo 0 16384
+fsync foo
+write foo 16384 8192
+fsync foo
+"""
+
+
+def _scenario_count(profile, bound):
+    generator = CrashStateGenerator(profile, planner=ReorderPlanner(bound=bound))
+    return sum(1 for _ in generator.scenario_plan())
+
+
+def test_reorder_bound_controls_scenario_blowup():
+    recorder = WorkloadRecorder("f2fs", BugConfig.only("fsync_no_flush"),
+                                device_blocks=BENCH_DEVICE_BLOCKS)
+    profile = recorder.profile(parse_workload(BARRIER_WORKLOAD, name="barrier"))
+    counts = {bound: _scenario_count(profile, bound) for bound in (1, 2, 3)}
+    print_table(
+        "reorder scenarios per bound (2 persistence points)",
+        [(f"bound={bound}", count) for bound, count in counts.items()],
+        ("bound", "scenarios"),
+    )
+    assert counts[1] >= profile.num_checkpoints + 1  # baseline per checkpoint + drops
+    assert counts[1] <= counts[2] <= counts[3]
+    assert counts[2] > counts[1]  # the bound really is the knob
+
+
+def test_reorder_finds_the_barrier_bug_prefix_misses_and_stays_cheap():
+    workload = parse_workload(BARRIER_WORKLOAD, name="barrier")
+    bugs = BugConfig.only("fsync_no_flush")
+
+    start = time.perf_counter()
+    prefix = CrashMonkey("f2fs", bugs=bugs, device_blocks=BENCH_DEVICE_BLOCKS
+                         ).test_workload(workload)
+    prefix_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    reorder = CrashMonkey("f2fs", bugs=bugs, device_blocks=BENCH_DEVICE_BLOCKS,
+                          crash_plan="reorder", reorder_bound=2).test_workload(workload)
+    reorder_seconds = time.perf_counter() - start
+
+    print_table(
+        "prefix vs reorder on the missing-post-flush bug",
+        [
+            ("prefix", prefix.scenarios_tested, len(prefix.bug_reports),
+             f"{prefix_seconds * 1000:.2f} ms"),
+            ("reorder (bound=2)", reorder.scenarios_tested, len(reorder.bug_reports),
+             f"{reorder_seconds * 1000:.2f} ms"),
+        ],
+        ("plan", "scenarios", "bug reports", "wall clock"),
+    )
+    assert prefix.passed, "ordered replay cannot see the missing flush"
+    assert not reorder.passed, "dropping the in-flight commit record must expose it"
+    assert reorder.scenarios_tested > prefix.scenarios_tested
+    # Regression guard on replay cost: the incremental builder replays the
+    # recorded log once plus only the in-flight windows of the extra states.
+    assert reorder.replayed_write_requests <= (
+        reorder.recorded_requests * (1 + reorder.scenarios_tested)
+    )
+
+
+def test_prefix_plan_replay_cost_stays_linear():
+    """CI smoke: the prefix plan never replays more writes than were recorded."""
+    harness = CrashMonkey("btrfs", bugs=BugConfig.none(), device_blocks=BENCH_DEVICE_BLOCKS)
+    result = harness.test_workload(parse_workload(BARRIER_WORKLOAD, name="barrier"))
+    assert result.replayed_write_requests <= result.recorded_requests
+    assert result.scenarios_tested == result.checkpoints_tested

@@ -29,6 +29,7 @@ from ..core.campaign import B3Campaign, CampaignConfig
 from ..core.known_bugs import all_bugs, get_bug
 from ..core.study import analyze
 from ..crashmonkey.checks import DEFAULT_REGISTRY
+from ..crashmonkey.crashplan import PLAN_NAMES
 from ..crashmonkey.harness import CrashMonkey
 from ..fs.bugs import BugConfig
 from ..fs.registry import available_filesystems
@@ -87,6 +88,16 @@ def _print_check_registry() -> int:
     return 0
 
 
+def _add_crash_plan_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--crash-plan", choices=list(PLAN_NAMES), default="prefix",
+                        help="crash scenarios per persistence point: 'prefix' tests the "
+                             "fully-persisted state, 'reorder' also drops bounded subsets "
+                             "of in-flight (post-flush, non-FUA) writes")
+    parser.add_argument("--reorder-bound", type=_positive_int, default=2, metavar="N",
+                        help="reorder plan: max blocks deviating from the baseline "
+                             "per scenario (default: 2)")
+
+
 def _add_check_selection_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--checks", type=_check_list, default=None, metavar="A,B",
                         help="comma-separated consistency checks to run (default: all)")
@@ -136,7 +147,8 @@ def cmd_test(args) -> int:
         text = handle.read()
     workload = parse_workload(text, name=args.workload)
     harness = CrashMonkey(args.filesystem, bugs=_bugs_from_args(args),
-                          checks=args.checks, skip_checks=args.skip_checks or ())
+                          checks=args.checks, skip_checks=args.skip_checks or (),
+                          crash_plan=args.crash_plan, reorder_bound=args.reorder_bound)
     result = harness.test_workload(workload)
     print(result.summary())
     for report in result.bug_reports:
@@ -155,6 +167,8 @@ def cmd_campaign(args) -> int:
         sample=args.sample,
         checks=args.checks,
         skip_checks=args.skip_checks or (),
+        crash_plan=args.crash_plan,
+        reorder_bound=args.reorder_bound,
         processes=args.processes,
         chunk_size=args.chunk_size,
     )
@@ -223,6 +237,7 @@ def build_parser() -> argparse.ArgumentParser:
                       help="path to a workload-language file")
     test.add_argument("--filesystem", "-f", default="btrfs", choices=_fs_choices())
     test.add_argument("--patched", action="store_true", help="test the patched (bug-free) file system")
+    _add_crash_plan_args(test)
     _add_check_selection_args(test)
 
     campaign = sub.add_parser("campaign", help="generate and test a bounded workload space")
@@ -239,6 +254,7 @@ def build_parser() -> argparse.ArgumentParser:
                           help="workloads per dispatched chunk (default: engine default)")
     campaign.add_argument("--progress", action="store_true",
                           help="print a progress line per completed chunk")
+    _add_crash_plan_args(campaign)
     _add_check_selection_args(campaign)
 
     reproduce = sub.add_parser("reproduce", help="replay a bug from the known-bug database")

@@ -46,6 +46,10 @@ class CampaignConfig:
     checks: Optional[Sequence[str]] = None
     #: consistency checks to skip, by registered name
     skip_checks: Sequence[str] = ()
+    #: crash-scenario plan per persistence point ("prefix" or "reorder")
+    crash_plan: str = "prefix"
+    #: reorder-plan bound: blocks allowed to deviate per scenario
+    reorder_bound: int = 2
     #: worker processes; 1 = serial in-process, >1 = process-pool backend
     processes: int = 1
     #: workloads per dispatched chunk (None = engine default)
@@ -67,6 +71,8 @@ class B3Campaign:
             only_last_checkpoint=config.only_last_checkpoint,
             checks=tuple(config.checks) if config.checks is not None else None,
             skip_checks=tuple(config.skip_checks),
+            crash_plan=config.crash_plan,
+            reorder_bound=config.reorder_bound,
         )
         self._harness: Optional[CrashMonkey] = None
         #: engine bookkeeping of the most recent :meth:`run` (chunk stats, wall clock)

@@ -77,12 +77,17 @@ class CampaignResult:
             return 0.0
         return sum(result.total_seconds for result in self.results) / len(self.results)
 
-    def phase_seconds(self) -> Tuple[float, float, float]:
-        """Total (profile, replay, check) seconds across all workloads (§6.3)."""
+    def phase_seconds(self) -> Tuple[float, float, float, float, float]:
+        """Total (profile, replay, mount, fsck, check) seconds across all
+        workloads — the §6.3 phases, with crash-state construction (replay),
+        mounting/recovery, and fsck attributed separately.  The five components
+        sum to the campaign's total testing time."""
         profile = sum(result.profile_seconds for result in self.results)
         replay = sum(result.replay_seconds for result in self.results)
+        mount = sum(result.mount_seconds for result in self.results)
+        fsck = sum(result.fsck_seconds for result in self.results)
         check = sum(result.check_seconds for result in self.results)
-        return profile, replay, check
+        return profile, replay, mount, fsck, check
 
     def check_timings(self) -> Dict[str, float]:
         """Per-check wall-clock attribution summed across every workload.

@@ -9,6 +9,14 @@ from .checks import (
     CheckRegistry,
     register,
 )
+from .crashplan import (
+    PLAN_NAMES,
+    CrashPlanner,
+    CrashScenario,
+    PrefixPlanner,
+    ReorderPlanner,
+    make_planner,
+)
 from .harness import CrashMonkey
 from .oracle import Oracle
 from .recorder import WorkloadProfile, WorkloadRecorder
@@ -31,6 +39,12 @@ __all__ = [
     "WorkloadRecorder",
     "CrashState",
     "CrashStateGenerator",
+    "CrashPlanner",
+    "CrashScenario",
+    "PrefixPlanner",
+    "ReorderPlanner",
+    "PLAN_NAMES",
+    "make_planner",
     "BugReport",
     "CrashTestResult",
     "Mismatch",

@@ -1,0 +1,185 @@
+"""Crash plans: which storage states are tested at each persistence point.
+
+The replay phase walks the recorded write stream once; at every checkpoint
+marker it hands the active :class:`CrashPlanner` the *in-flight window* — the
+writes issued after the last cache-flush barrier — and the planner enumerates
+:class:`CrashScenario` objects describing the storage states a crash at that
+point could leave behind.
+
+Two planners ship:
+
+* ``prefix`` — the classic CrashMonkey model: one state per checkpoint, every
+  recorded write up to the marker applied in order.  Byte-for-byte identical
+  to replaying the prefix from scratch.
+* ``reorder`` — additionally explores crashes where a bounded subset of the
+  in-flight (post-last-flush, non-FUA) writes never reached the platter.  A
+  disk may complete cached writes in any order and lose any subset of them on
+  power failure, but it never loses a write issued *before* a completed flush
+  and never loses a FUA write, so those are off-limits to the planner.
+
+The reorder enumeration relies on a collapse of the scenario space: since the
+final content of a block is decided solely by the *last* surviving write to
+it, every (subset, permutation) of the in-flight window is state-equivalent
+to choosing, independently per block, which of its writes lands last — or
+none.  Enumerating per-block "drop a non-empty suffix of this block's writes"
+choices therefore covers every reachable reordering state exactly once, and
+``bound`` caps how many blocks may deviate from the fully-persisted baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations, product
+from typing import Dict, Iterator, List, Sequence, Tuple
+
+from ..storage.io_request import IORequest
+
+#: Scenario id of the fully-persisted state at a checkpoint (the only state
+#: the prefix plan tests, and the reorder plan's baseline).
+BASELINE_SCENARIO = "prefix"
+
+
+@dataclass(frozen=True)
+class CrashScenario:
+    """One storage state to construct and check at a checkpoint.
+
+    ``dropped_seqs`` names the in-flight write requests (by their recorded
+    sequence number) that never reached stable storage; empty means the
+    fully-persisted baseline.  Frozen and made of plain tuples so scenarios
+    pickle cleanly through process-pool backends.
+    """
+
+    checkpoint_id: int
+    plan: str
+    dropped_seqs: Tuple[int, ...] = ()
+    description: str = ""
+
+    @property
+    def is_baseline(self) -> bool:
+        return not self.dropped_seqs
+
+    @property
+    def scenario_id(self) -> str:
+        """Stable tag used to label crash states and bug reports."""
+        if self.is_baseline:
+            return BASELINE_SCENARIO
+        dropped = ",".join(str(seq) for seq in self.dropped_seqs)
+        return f"{self.plan}[drop={dropped}]"
+
+
+class CrashPlanner:
+    """Enumerates crash scenarios from a checkpoint's in-flight window."""
+
+    name = "abstract"
+
+    def scenarios(self, checkpoint_id: int,
+                  window: Sequence[IORequest]) -> Iterator[CrashScenario]:
+        """Yield the scenarios to test at ``checkpoint_id``.
+
+        ``window`` holds the write requests issued after the last flush
+        barrier preceding the checkpoint marker, in issue order (FUA writes
+        included — planners must never drop those).
+        """
+        raise NotImplementedError
+
+
+class PrefixPlanner(CrashPlanner):
+    """The paper's crash model: everything recorded before the marker landed."""
+
+    name = "prefix"
+
+    def scenarios(self, checkpoint_id: int,
+                  window: Sequence[IORequest]) -> Iterator[CrashScenario]:
+        yield CrashScenario(
+            checkpoint_id=checkpoint_id,
+            plan=self.name,
+            description="all recorded writes up to the persistence point applied in order",
+        )
+
+
+class ReorderPlanner(CrashPlanner):
+    """Bounded exploration of dropped/reordered in-flight writes.
+
+    Args:
+        bound: maximum number of distinct blocks whose final content may
+            deviate from the fully-persisted baseline in one scenario.  The
+            scenario count per checkpoint is
+            ``1 + sum_{d=1..bound} (combinations of d blocks × per-block
+            suffix choices)``, so small bounds keep the blow-up controlled.
+    """
+
+    name = "reorder"
+
+    def __init__(self, bound: int = 2):
+        if bound < 1:
+            raise ValueError(f"reorder bound must be >= 1, got {bound}")
+        self.bound = bound
+
+    def scenarios(self, checkpoint_id: int,
+                  window: Sequence[IORequest]) -> Iterator[CrashScenario]:
+        # The baseline first: the reorder plan is a strict superset of prefix.
+        yield CrashScenario(
+            checkpoint_id=checkpoint_id,
+            plan=self.name,
+            description="baseline: every in-flight write persisted",
+        )
+
+        by_block = self._droppable_by_block(window)
+        if not by_block:
+            return
+        blocks = list(by_block)
+        max_deviating = min(self.bound, len(blocks))
+        for deviating in range(1, max_deviating + 1):
+            for chosen in combinations(blocks, deviating):
+                # Per chosen block: drop a non-empty suffix of its writes
+                # (drop-from index 0 = the block never hit the platter).
+                per_block = [range(len(by_block[block])) for block in chosen]
+                for drop_from in product(*per_block):
+                    dropped: List[int] = []
+                    for block, start in zip(chosen, drop_from):
+                        dropped.extend(req.seq for req in by_block[block][start:])
+                    dropped.sort()
+                    yield CrashScenario(
+                        checkpoint_id=checkpoint_id,
+                        plan=self.name,
+                        dropped_seqs=tuple(dropped),
+                        description=(
+                            f"crash lost {len(dropped)} in-flight write(s) "
+                            f"on block(s) {', '.join(str(b) for b in chosen)}"
+                        ),
+                    )
+
+    @staticmethod
+    def _droppable_by_block(window: Sequence[IORequest]) -> Dict[int, List[IORequest]]:
+        """Group the window's droppable writes by target block, in issue order.
+
+        FUA writes are durable on completion and are therefore never dropped;
+        the flush barrier before the window already excluded everything older.
+        A FUA write also makes the earlier window writes to *its own* block
+        unobservable (the FUA content overwrites whatever subset of them
+        landed), so only the suffix after a block's last FUA write can produce
+        a state distinct from the baseline.
+        """
+        by_block: Dict[int, List[IORequest]] = {}
+        for request in window:
+            if not request.is_write or request.block is None:
+                continue
+            if request.is_fua:
+                by_block.pop(request.block, None)
+                continue
+            by_block.setdefault(request.block, []).append(request)
+        return by_block
+
+
+#: Registered plan names → planner factories.  ``reorder_bound`` is accepted
+#: by every factory so harness specs can rebuild planners uniformly.
+PLAN_NAMES: Tuple[str, ...] = ("prefix", "reorder")
+
+
+def make_planner(name: str, reorder_bound: int = 2) -> CrashPlanner:
+    """Build a planner by registered name (the harness-spec rebuild path)."""
+    if name == "prefix":
+        return PrefixPlanner()
+    if name == "reorder":
+        return ReorderPlanner(bound=reorder_bound)
+    raise ValueError(f"unknown crash plan {name!r}; available: {', '.join(PLAN_NAMES)}")

@@ -16,6 +16,7 @@ POSIX-ish API and the block-device write stream.
 from __future__ import annotations
 
 import time
+from dataclasses import replace
 from typing import Iterable, Iterator, List, Optional, Sequence
 
 from ..fs.bugs import BugConfig
@@ -23,6 +24,7 @@ from ..fs.registry import models, resolve_fs_name
 from ..storage.block import DEFAULT_DEVICE_BLOCKS
 from ..workload.workload import Workload
 from .checker import CheckPipeline
+from .crashplan import make_planner
 from .recorder import WorkloadProfile, WorkloadRecorder
 from .replayer import CrashStateGenerator
 from .report import BugReport, CrashTestResult
@@ -37,6 +39,8 @@ class CrashMonkey:
                  run_write_checks: bool = True,
                  checks: Optional[Sequence[str]] = None,
                  skip_checks: Iterable[str] = (),
+                 crash_plan: str = "prefix",
+                 reorder_bound: int = 2,
                  kernel_version: str = "4.16"):
         """
         Args:
@@ -52,12 +56,22 @@ class CrashMonkey:
                 to putting ``"write"`` in ``skip_checks``.
             checks: names of registered checks to run (None = all).
             skip_checks: names of registered checks to skip.
+            crash_plan: crash-scenario plan per persistence point: "prefix"
+                (one fully-persisted state, the classic model) or "reorder"
+                (additionally drop bounded subsets of in-flight writes).
+            reorder_bound: for the reorder plan, the maximum number of blocks
+                whose content may deviate from the baseline per scenario.
             kernel_version: label attached to bug reports.
         """
         self.fs_name = resolve_fs_name(fs_name)
         self.fs_model = models(self.fs_name)
         self.bugs = bugs if bugs is not None else BugConfig.all_for(self.fs_name)
         self.only_last_checkpoint = only_last_checkpoint
+        self.crash_plan = crash_plan
+        self.reorder_bound = reorder_bound
+        # Planners are stateless, so one instance serves every workload (and
+        # building it here fails fast on a bad plan name or bound).
+        self.planner = make_planner(crash_plan, reorder_bound)
         self.kernel_version = kernel_version
         self.recorder = WorkloadRecorder(self.fs_name, self.bugs, device_blocks=device_blocks)
         self.checker = CheckPipeline(checks=checks, skip_checks=skip_checks,
@@ -88,11 +102,12 @@ class CrashMonkey:
         if self.only_last_checkpoint and checkpoints:
             checkpoints = [checkpoints[-1]]
 
-        generator = CrashStateGenerator(profile)
-        for checkpoint_id in checkpoints:
-            replay_start = time.perf_counter()
-            crash_state = generator.generate(checkpoint_id)
-            result.replay_seconds += time.perf_counter() - replay_start
+        generator = CrashStateGenerator(profile, planner=self.planner)
+        result.checkpoints_tested = len(checkpoints)
+        for crash_state in generator.generate_scenarios(checkpoints):
+            result.replay_seconds += crash_state.replay_seconds
+            result.mount_seconds += crash_state.mount_seconds
+            result.fsck_seconds += crash_state.fsck_seconds
             result.crash_state_overlay_bytes = max(
                 result.crash_state_overlay_bytes, crash_state.overlay_bytes
             )
@@ -102,20 +117,25 @@ class CrashMonkey:
             result.check_seconds += time.perf_counter() - check_start
             for name, seconds in check_timings.items():
                 result.check_timings[name] = result.check_timings.get(name, 0.0) + seconds
-            result.checkpoints_tested += 1
+            result.scenarios_tested += 1
 
             if mismatches:
+                scenario_id = crash_state.scenario_id
                 result.bug_reports.append(
                     BugReport(
                         workload=workload,
                         fs_type=self.fs_name,
                         fs_model=self.fs_model,
-                        checkpoint_id=checkpoint_id,
+                        checkpoint_id=crash_state.checkpoint_id,
                         crash_point=crash_state.crash_point,
-                        mismatches=mismatches,
+                        mismatches=[replace(m, scenario=scenario_id) for m in mismatches],
                         kernel_version=self.kernel_version,
+                        scenario=scenario_id,
                     )
                 )
+        # The one-pass incremental build is replay work shared by every state.
+        result.replay_seconds += generator.build_seconds
+        result.replayed_write_requests = generator.replayed_write_requests
         return result
 
     def test_stream(self, workloads) -> "Iterator[CrashTestResult]":

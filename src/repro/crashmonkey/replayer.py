@@ -1,30 +1,43 @@
 """Crash-state generator (CrashMonkey phase 2).
 
-A crash state is the storage contents immediately after a persistence
-operation completed: the base disk image plus the recorded write stream
-replayed up to the corresponding checkpoint marker.  Mounting the crash state
-runs the file system's own recovery code (log/journal replay); if that fails,
-the crash state is un-mountable and ``fsck`` is consulted, exactly as in the
-paper.
+A crash state is a storage state a crash could leave behind at a persistence
+point: the base disk image plus some crash-plan-chosen portion of the recorded
+write stream.  Mounting the crash state runs the file system's own recovery
+code (log/journal replay); if that fails, the crash state is un-mountable and
+``fsck`` is consulted, exactly as in the paper.
+
+Construction is *incremental*: one cursor walks the recorded stream exactly
+once, applying every write to a chained-overlay :class:`CowDevice` and forking
+an O(1) snapshot at each flush barrier and checkpoint marker.  Each crash
+state then mounts on a private fork, so generating all states of a workload
+replays each recorded write once — linear in the log length — instead of
+re-scanning the prefix per checkpoint.
+
+Which states exist at a checkpoint is decided by the pluggable crash plan
+(:mod:`repro.crashmonkey.crashplan`): the ``prefix`` plan reproduces the
+classic one-state-per-checkpoint model byte for byte, while the ``reorder``
+plan additionally explores crashes that lose bounded subsets of the in-flight
+(post-last-flush, non-FUA) writes.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Optional
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
-from ..errors import UnmountableError
+from ..errors import HarnessError, UnmountableError
 from ..fs import fsck
 from ..fs.registry import get_fs_class
 from ..storage.cow_device import CowDevice
-from ..storage.replay import replay_until_checkpoint
+from ..storage.io_request import IORequest
+from .crashplan import CrashPlanner, CrashScenario, PrefixPlanner
 from .recorder import WorkloadProfile
 
 
 @dataclass
 class CrashState:
-    """A recovered (or unrecoverable) crash state for one checkpoint."""
+    """A recovered (or unrecoverable) crash state for one crash scenario."""
 
     checkpoint_id: int
     crash_point: str
@@ -33,57 +46,185 @@ class CrashState:
     mount_error: Optional[UnmountableError] = None
     fsck_report: Optional[fsck.FsckReport] = None
     fsck_recovered_fs: Optional[object] = None
+    #: the crash-plan scenario this state realizes (None = plain prefix state)
+    scenario: Optional[CrashScenario] = None
+    #: phase timing: constructing the device / mounting (recovery) / fsck
     replay_seconds: float = 0.0
+    mount_seconds: float = 0.0
+    fsck_seconds: float = 0.0
     overlay_bytes: int = 0
 
     @property
     def mountable(self) -> bool:
         return self.fs is not None
 
+    @property
+    def scenario_id(self) -> str:
+        """Stable tag of the scenario that produced this state."""
+        return self.scenario.scenario_id if self.scenario is not None else "prefix"
+
     def describe(self) -> str:
+        tag = "" if self.scenario_id == "prefix" else f" [{self.scenario_id}]"
         if self.mountable:
-            return f"crash state @ {self.checkpoint_id}: mounted, recovery ran={self.fs.recovery_ran}"
+            return (
+                f"crash state @ {self.checkpoint_id}{tag}: mounted, "
+                f"recovery ran={self.fs.recovery_ran}"
+            )
         detail = str(self.mount_error) if self.mount_error else "unknown mount failure"
-        return f"crash state @ {self.checkpoint_id}: UNMOUNTABLE ({detail})"
+        return f"crash state @ {self.checkpoint_id}{tag}: UNMOUNTABLE ({detail})"
+
+
+@dataclass(frozen=True)
+class _CheckpointRecord:
+    """Forks and in-flight window captured at one checkpoint marker."""
+
+    checkpoint_id: int
+    #: every recorded write up to the marker applied (the prefix state)
+    baseline: CowDevice
+    #: state as of the last flush barrier before the marker
+    stable: CowDevice
+    #: writes issued after that barrier, in issue order (FUA included)
+    window: Tuple[IORequest, ...]
 
 
 class CrashStateGenerator:
     """Builds and mounts crash states from a workload profile."""
 
-    def __init__(self, profile: WorkloadProfile, run_fsck_on_failure: bool = True):
+    def __init__(self, profile: WorkloadProfile, run_fsck_on_failure: bool = True,
+                 planner: Optional[CrashPlanner] = None):
         self.profile = profile
         self.fs_class = get_fs_class(profile.fs_name)
         self.run_fsck_on_failure = run_fsck_on_failure
+        self.planner = planner if planner is not None else PrefixPlanner()
+        #: write requests applied to devices so far (one per recorded write
+        #: for the single cursor pass, plus the re-applied window writes of
+        #: each non-baseline scenario)
+        self.replayed_write_requests = 0
+        #: wall-clock seconds of the one-pass incremental build
+        self.build_seconds = 0.0
+        self._records: Optional[Dict[int, _CheckpointRecord]] = None
 
-    def generate(self, checkpoint_id: int) -> CrashState:
-        """Construct, mount and (if necessary) fsck one crash state."""
+    # ------------------------------------------------------------------ one-pass build
+
+    def _ensure_built(self) -> Dict[int, _CheckpointRecord]:
+        """Walk the recorded stream once, forking a snapshot per checkpoint."""
+        if self._records is not None:
+            return self._records
         start = time.perf_counter()
-        oracle = self.profile.oracles.get(checkpoint_id)
-        crash_point = oracle.crash_point if oracle else f"checkpoint {checkpoint_id}"
-        device = replay_until_checkpoint(
-            self.profile.base_image, self.profile.io_log, checkpoint_id,
-            name=f"crash-{checkpoint_id}",
+        records: Dict[int, _CheckpointRecord] = {}
+        cursor = CowDevice(self.profile.base_image, name="replay-cursor")
+        stable = cursor.snapshot(name="replay-stable")
+        window: List[IORequest] = []
+        for request in self.profile.io_log:
+            if request.is_write:
+                if request.block is None or request.data is None:
+                    raise HarnessError(
+                        f"malformed write request in recorded stream: {request!r}"
+                    )
+                cursor.write_block(request.block, request.data)
+                self.replayed_write_requests += 1
+                window.append(request)
+            elif request.is_flush:
+                # Everything before the barrier is durable: fork the stable
+                # state and start a fresh in-flight window.
+                stable = cursor.snapshot(name="replay-stable")
+                window = []
+            elif request.is_checkpoint and request.checkpoint_id is not None:
+                records[request.checkpoint_id] = _CheckpointRecord(
+                    checkpoint_id=request.checkpoint_id,
+                    baseline=cursor.snapshot(name=f"crash-{request.checkpoint_id}"),
+                    stable=stable,
+                    window=tuple(window),
+                )
+        self._records = records
+        self.build_seconds = time.perf_counter() - start
+        return records
+
+    def _record_for(self, checkpoint_id: int) -> _CheckpointRecord:
+        record = self._ensure_built().get(checkpoint_id)
+        if record is None:
+            raise ValueError(f"recorded stream has no checkpoint {checkpoint_id}")
+        return record
+
+    # ------------------------------------------------------------------ state construction
+
+    def _scenario_device(self, record: _CheckpointRecord,
+                         scenario: Optional[CrashScenario]) -> CowDevice:
+        """Fork the device realizing ``scenario`` at ``record``'s checkpoint."""
+        if scenario is None or scenario.is_baseline:
+            return record.baseline.snapshot(name=f"crash-{record.checkpoint_id}")
+        device = record.stable.snapshot(
+            name=f"crash-{record.checkpoint_id}-{scenario.scenario_id}"
         )
+        dropped = set(scenario.dropped_seqs)
+        for request in record.window:
+            if not request.is_write or request.seq in dropped:
+                continue
+            device.write_block(request.block, request.data)
+            self.replayed_write_requests += 1
+        return device
+
+    def _construct(self, record: _CheckpointRecord,
+                   scenario: Optional[CrashScenario]) -> CrashState:
+        oracle = self.profile.oracles.get(record.checkpoint_id)
+        crash_point = oracle.crash_point if oracle else f"checkpoint {record.checkpoint_id}"
+
+        replay_start = time.perf_counter()
+        device = self._scenario_device(record, scenario)
         state = CrashState(
-            checkpoint_id=checkpoint_id,
+            checkpoint_id=record.checkpoint_id,
             crash_point=crash_point,
             device=device,
+            scenario=scenario,
             overlay_bytes=device.overlay_bytes(),
         )
+        state.replay_seconds = time.perf_counter() - replay_start
+
+        mount_start = time.perf_counter()
         fs = self.fs_class(device, self.profile.bugs)
         try:
             fs.mount()
             state.fs = fs
+            state.mount_seconds = time.perf_counter() - mount_start
         except UnmountableError as exc:
             state.mount_error = exc
+            state.mount_seconds = time.perf_counter() - mount_start
             if self.run_fsck_on_failure:
+                fsck_start = time.perf_counter()
                 repaired_fs, report = fsck.repair(self.fs_class, device, self.profile.bugs)
                 state.fsck_report = report
                 state.fsck_recovered_fs = repaired_fs
-        state.replay_seconds = time.perf_counter() - start
+                state.fsck_seconds = time.perf_counter() - fsck_start
         return state
 
-    def generate_all(self):
-        """Yield a crash state per persistence point, in order."""
+    # ------------------------------------------------------------------ public API
+
+    def generate(self, checkpoint_id: int) -> CrashState:
+        """Construct, mount and (if necessary) fsck one prefix crash state."""
+        return self._construct(self._record_for(checkpoint_id), None)
+
+    def generate_all(self) -> Iterator[CrashState]:
+        """Yield the prefix crash state per persistence point, in order."""
         for checkpoint_id in self.profile.checkpoints():
             yield self.generate(checkpoint_id)
+
+    def generate_scenarios(
+        self, checkpoint_ids: Optional[Sequence[int]] = None
+    ) -> Iterator[CrashState]:
+        """Yield a crash state per planner scenario per persistence point."""
+        if checkpoint_ids is None:
+            checkpoint_ids = self.profile.checkpoints()
+        for checkpoint_id in checkpoint_ids:
+            record = self._record_for(checkpoint_id)
+            for scenario in self.planner.scenarios(checkpoint_id, record.window):
+                yield self._construct(record, scenario)
+
+    def scenario_plan(
+        self, checkpoint_ids: Optional[Sequence[int]] = None
+    ) -> Iterator[CrashScenario]:
+        """Enumerate the planner's scenarios without constructing any state."""
+        if checkpoint_ids is None:
+            checkpoint_ids = self.profile.checkpoints()
+        for checkpoint_id in checkpoint_ids:
+            record = self._record_for(checkpoint_id)
+            yield from self.planner.scenarios(checkpoint_id, record.window)

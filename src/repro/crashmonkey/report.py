@@ -83,6 +83,10 @@ class Mismatch:
     path: str                  #: the path (or entity) the check concerns
     expected: str              #: human-readable expected state
     actual: str                #: human-readable observed state
+    #: crash-plan scenario id of the crash state that failed the check
+    #: ("prefix" for the classic one-state-per-checkpoint model); stamped by
+    #: the harness, empty when the mismatch was produced outside it
+    scenario: str = ""
 
     @property
     def severity(self) -> Optional[Severity]:
@@ -117,6 +121,10 @@ class BugReport:
     crash_point: str                   #: description of the persistence op crashed after
     mismatches: List[Mismatch] = field(default_factory=list)
     kernel_version: str = "4.16"       #: reported for parity with the paper's reports
+    #: crash-plan scenario that produced the failing state; grouping and
+    #: known-bug matching deliberately ignore it (same skeleton + consequence
+    #: found by different plans is the same underlying bug)
+    scenario: str = "prefix"
     notes: str = ""
 
     @property
@@ -146,9 +154,10 @@ class BugReport:
         return (self.skeleton(), self.consequence)
 
     def summary(self) -> str:
+        tag = "" if self.scenario == "prefix" else f" [{self.scenario}]"
         return (
             f"{self.fs_model} ({self.fs_type}) workload {self.workload.display_name()} "
-            f"crash after #{self.checkpoint_id} {self.crash_point}: {self.consequence} "
+            f"crash after #{self.checkpoint_id} {self.crash_point}{tag}: {self.consequence} "
             f"({len(self.mismatches)} failed check(s))"
         )
 
@@ -161,6 +170,8 @@ class BugReport:
             f"  workload    : {self.workload.display_name()}",
             f"  crash point : after persistence op #{self.checkpoint_id} ({self.crash_point})",
         ]
+        if self.scenario != "prefix":
+            lines.append(f"  crash plan  : {self.scenario}")
         if self.notes:
             lines.append(f"  notes       : {self.notes}")
         lines.append("  workload operations:")
@@ -182,11 +193,22 @@ class CrashTestResult:
     fs_type: str
     fs_model: str
     checkpoints_tested: int = 0
+    #: crash scenarios tested (== checkpoints_tested under the prefix plan;
+    #: larger when a reordering plan enumerates several states per checkpoint)
+    scenarios_tested: int = 0
     bug_reports: List[BugReport] = field(default_factory=list)
-    #: timing breakdown in seconds: profile / replay / check (paper §6.3)
+    #: timing breakdown in seconds: profile / replay / mount / fsck / check.
+    #: ``replay_seconds`` covers only crash-state *construction* (the paper's
+    #: §6.3 replay phase); mounting (recovery) and fsck are attributed
+    #: separately instead of being lumped into replay.
     profile_seconds: float = 0.0
     replay_seconds: float = 0.0
+    mount_seconds: float = 0.0
+    fsck_seconds: float = 0.0
     check_seconds: float = 0.0
+    #: write requests replayed onto crash-state devices for this workload
+    #: (linear in the recorded log under the incremental builder)
+    replayed_write_requests: int = 0
     #: per-check wall-clock attribution, check name -> seconds (summed over
     #: every crash point tested for this workload)
     check_timings: Dict[str, float] = field(default_factory=dict)
@@ -203,15 +225,19 @@ class CrashTestResult:
 
     @property
     def total_seconds(self) -> float:
-        return self.profile_seconds + self.replay_seconds + self.check_seconds
+        return (self.profile_seconds + self.replay_seconds + self.mount_seconds
+                + self.fsck_seconds + self.check_seconds)
 
     def consequences(self) -> Tuple[str, ...]:
         return tuple(sorted({report.consequence for report in self.bug_reports}))
 
     def summary(self) -> str:
         status = "PASS" if self.passed else "FAIL"
+        scenarios = ""
+        if self.scenarios_tested != self.checkpoints_tested:
+            scenarios = f" / {self.scenarios_tested} crash scenarios"
         return (
             f"[{status}] {self.fs_model} {self.workload.display_name()} "
-            f"({self.checkpoints_tested} crash points, "
+            f"({self.checkpoints_tested} crash points{scenarios}, "
             f"{len(self.bug_reports)} bug report(s), {self.total_seconds * 1000:.1f} ms)"
         )

@@ -37,6 +37,10 @@ class HarnessSpec:
     #: (selecting it by name raises ``KeyError`` there).
     checks: Optional[Tuple[str, ...]] = None
     skip_checks: Tuple[str, ...] = ()
+    #: crash-plan selection by name + bound; workers rebuild an identical
+    #: planner from these plain values (planner objects are never pickled)
+    crash_plan: str = "prefix"
+    reorder_bound: int = 2
     kernel_version: str = "4.16"
 
     def build(self) -> CrashMonkey:
@@ -49,5 +53,7 @@ class HarnessSpec:
             run_write_checks=self.run_write_checks,
             checks=self.checks,
             skip_checks=self.skip_checks,
+            crash_plan=self.crash_plan,
+            reorder_bound=self.reorder_bound,
             kernel_version=self.kernel_version,
         )

@@ -617,11 +617,27 @@ class AbstractFileSystem:
             inode.dirty_data = False
         return dict(inode.block_map)
 
-    def _device_write(self, block: int, data: bytes, *, metadata: bool, tag: str) -> None:
+    def _device_write(self, block: int, data: bytes, *, metadata: bool, tag: str,
+                      fua: bool = False) -> None:
         try:
-            self.device.write_block(block, data, metadata=metadata, tag=tag)
+            self.device.write_block(block, data, metadata=metadata, fua=fua, tag=tag)
         except TypeError:
             self.device.write_block(block, data)
+
+    def _device_flush(self, *, sync: bool = False) -> None:
+        """Issue a cache-flush barrier to the device.
+
+        Everything written before the flush is durable once it completes; the
+        crash planners treat writes after the last flush as in-flight (they
+        may be lost or reordered by a crash).
+        """
+        flush = getattr(self.device, "flush", None)
+        if flush is None:
+            return
+        try:
+            flush(sync=sync)
+        except TypeError:
+            flush()
 
     def _load_data_from_extents(self, inode: Inode) -> None:
         """Rebuild the in-memory data of ``inode`` from its on-disk block map."""
@@ -663,9 +679,13 @@ class AbstractFileSystem:
             if inode.is_file and inode.dirty_data:
                 self._flush_inode_data(inode)
             inode.mmap_ranges = []
+        # Data must be stable before the checkpoint that references it, and
+        # the checkpoint blocks before the (FUA) superblock that names them.
+        self._device_flush()
         self.generation += 1
         area = "A" if self.generation % 2 == 1 else "B"
         blocks = layout.write_checkpoint(self.device, self._serialize_meta(), self.generation, area)
+        self._device_flush()
         superblock = layout.Superblock(
             fs_type=self.fs_type,
             generation=self.generation,
@@ -960,6 +980,11 @@ class AbstractFileSystem:
                    msync_range: Optional[Tuple[int, int]] = None,
                    embed_children: bool = False, recurse: bool = True) -> List[dict]:
         """Write the log entries an fsync of ``inode`` produces."""
+        # Pre-commit barrier: the data (and any earlier log writes) must be
+        # stable before the entries that reference them.  File systems with a
+        # missing-barrier bug skip it along with the post-commit flush.
+        if not self._skip_commit_barrier():
+            self._device_flush()
         entries: List[dict] = []
         if recurse and not self._skip_recursive_logging():
             for target in self._collect_recursive_targets(inode):
@@ -973,10 +998,19 @@ class AbstractFileSystem:
         self._append_log_entry(entry)
         self._update_committed_for_entry(entry)
         entries.append(entry)
+        # Post-commit barrier: a correct persistence operation does not return
+        # until its log entries have left the device cache.  Buggy file
+        # systems that skip it leave the entries in-flight at the crash point.
+        if not self._skip_commit_barrier():
+            self._device_flush(sync=True)
         return entries
 
     def _skip_recursive_logging(self) -> bool:
         """Buggy file systems that do not log displaced inodes override this."""
+        return False
+
+    def _skip_commit_barrier(self) -> bool:
+        """Buggy file systems that omit the post-commit flush override this."""
         return False
 
     # ------------------------------------------------------------------ log replay

@@ -245,6 +245,21 @@ def _mechanisms() -> List[BugMechanism]:
             "2016",
         ),
         BugMechanism(
+            "fsync_no_flush",
+            flashfs,
+            "Fsync issues no cache-flush barriers",
+            "fsync writes the data and the node-log commit record but never "
+            "issues a cache flush, so everything is still in the disk write "
+            "cache when fsync reports success.  A crash (power loss) right "
+            "after the persistence point can drop or reorder any subset of "
+            "those in-flight writes, losing the data fsync promised to "
+            "persist.  Invisible to prefix (ordered-replay) crash states — "
+            "only reordering crash plans that drop in-flight writes hit it.",
+            Consequence.FILE_MISSING,
+            (),
+            "2017",
+        ),
+        BugMechanism(
             "rename_dir_fsync_old_parent",
             flashfs,
             "Persisted file ends up in pre-rename directory",

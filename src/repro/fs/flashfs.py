@@ -34,6 +34,11 @@ class FlashFS(LogFS):
             return
         super().fdatasync(path)
 
+    def _skip_commit_barrier(self) -> bool:
+        # The buggy path never flushes the device cache around the commit,
+        # leaving the data and the commit record in-flight after fsync.
+        return self.bugs.is_enabled("fsync_no_flush")
+
     def _fdatasync_would_skip(self, inode: Inode) -> bool:
         committed = self._committed_attrs.get(inode.ino) or {}
         committed_size = int(committed.get("size", 0))

@@ -79,12 +79,13 @@ class Superblock:
         )
 
 
-def _write_json_block(device, block: int, payload: dict, *, metadata: bool = True, tag: str = "") -> None:
+def _write_json_block(device, block: int, payload: dict, *, metadata: bool = True,
+                      fua: bool = False, tag: str = "") -> None:
     raw = json.dumps(payload, sort_keys=True).encode("utf-8")
     if len(raw) > BLOCK_SIZE:
         raise CorruptionError(f"metadata payload of {len(raw)} bytes does not fit in one block")
     try:
-        device.write_block(block, raw, metadata=metadata, tag=tag)
+        device.write_block(block, raw, metadata=metadata, fua=fua, tag=tag)
     except TypeError:
         # Plain devices (BlockDevice, CowDevice) take no annotation keywords.
         device.write_block(block, raw)
@@ -104,7 +105,9 @@ def _read_json_block(device, block: int) -> Optional[dict]:
 
 
 def write_superblock(device, superblock: Superblock) -> None:
-    _write_json_block(device, SUPERBLOCK_BLOCK, superblock.to_json(), tag="superblock")
+    # The superblock is the commit record of the layout: real file systems
+    # write it with FUA so it is durable the moment the write completes.
+    _write_json_block(device, SUPERBLOCK_BLOCK, superblock.to_json(), fua=True, tag="superblock")
 
 
 def read_superblock(device) -> Superblock:

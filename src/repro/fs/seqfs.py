@@ -76,6 +76,8 @@ class SeqFS(AbstractFileSystem):
         for inode in self.inodes.values():
             if inode.is_file and inode.dirty_data:
                 self._flush_inode_data(inode)
+        # Ordered data must be stable before the transaction that commits it.
+        self._device_flush()
         meta = self._serialize_meta()
 
         if (
@@ -98,6 +100,8 @@ class SeqFS(AbstractFileSystem):
 
         entry = {"kind": "journal_commit", "meta": meta, "datasync": datasync}
         self._append_log_entry(entry)
+        if not self._skip_commit_barrier():
+            self._device_flush(sync=True)
         self._logged_inos.add(focus.ino)
         self._committed_attrs = {
             int(ino): dict(inode_meta) for ino, inode_meta in meta["inodes"].items()

@@ -4,28 +4,50 @@ CrashMonkey's second kernel module is an in-memory copy-on-write block device
 that provides fast, writable snapshots: the base image is shared, writes land
 in a private overlay, and resetting a snapshot simply drops the overlay.  This
 module provides the same facility for the simulated stack.
+
+Snapshots fork in O(1): instead of copying the parent's overlay, the parent's
+mutable overlay is *frozen* into an immutable chain that both devices share,
+and each side continues writing into its own fresh top overlay.  Reads walk
+top overlay → chain (newest first) → base.  This is what makes the replayer's
+one-pass incremental crash-state construction cheap — it forks a snapshot at
+every persistence point of the recorded stream.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, Optional, Tuple
+from typing import Dict, FrozenSet, Iterator, Optional, Tuple
 
 from ..errors import InvalidBlockError
 from .block import BLOCK_SIZE, ZERO_BLOCK, pad_block
 from .block_device import BlockDevice
 
+#: When a snapshot's frozen chain grows past this many layers the next fork
+#: compacts it into a single layer.  Chains only grow by forking, so this
+#: bounds the read-path lookup cost without ever copying on the common
+#: few-persistence-points-per-workload case.
+CHAIN_COMPACT_THRESHOLD = 32
+
 
 class CowDevice:
     """A writable view over a shared, read-only base :class:`BlockDevice`.
 
-    Multiple ``CowDevice`` instances may share one base image; each keeps its
-    own overlay of modified blocks.  The base is never written through.
+    Multiple ``CowDevice`` instances may share one base image (and, after
+    forking, any number of frozen overlay layers); each keeps its own mutable
+    top overlay of modified blocks.  The base is never written through.
     """
 
     def __init__(self, base: BlockDevice, name: str = "cow0"):
         self.base = base
         self.name = name
         self.num_blocks = base.num_blocks
+        #: immutable, shared overlay layers (oldest → newest); never mutated
+        #: after being frozen by :meth:`snapshot`.
+        self._chain: Tuple[Dict[int, bytes], ...] = ()
+        #: distinct blocks covered by the chain, computed once at freeze time
+        #: and shared with clones (the chain is immutable), so the overlay
+        #: accounting of a freshly forked snapshot is O(1).
+        self._chain_keys: FrozenSet[int] = frozenset()
+        #: this device's private, mutable top overlay.
         self._overlay: Dict[int, bytes] = {}
         self.writes = 0
         self.reads = 0
@@ -50,6 +72,9 @@ class CowDevice:
         self.reads += 1
         if block in self._overlay:
             return self._overlay[block]
+        for layer in reversed(self._chain):
+            if block in layer:
+                return layer[block]
         return self.base.read_block(block)
 
     def write_block(self, block: int, data: bytes) -> None:
@@ -68,23 +93,45 @@ class CowDevice:
     # -- snapshot management -------------------------------------------------
 
     def reset(self) -> None:
-        """Drop the overlay, reverting the snapshot to the base image."""
+        """Drop every overlay layer, reverting the snapshot to the base image."""
+        self._chain = ()
+        self._chain_keys = frozenset()
         self._overlay.clear()
+
+    def _freeze(self) -> None:
+        """Move the mutable overlay into the immutable chain."""
+        if self._overlay:
+            self._chain = self._chain + (self._overlay,)
+            self._chain_keys = self._chain_keys.union(self._overlay)
+            self._overlay = {}
+        if len(self._chain) > CHAIN_COMPACT_THRESHOLD:
+            self._chain = (self._merged_overlay(),)
 
     def snapshot(self, name: Optional[str] = None) -> "CowDevice":
         """Create a new writable snapshot with the same visible contents.
 
-        The new snapshot shares the base image and copies this snapshot's
+        O(1) in the overlay size: this device's mutable overlay is frozen into
+        the shared chain and both devices continue with their own empty top
         overlay, so subsequent writes to either do not affect the other.
         """
+        self._freeze()
         clone = CowDevice(self.base, name=name or f"{self.name}-snap")
-        clone._overlay = dict(self._overlay)
+        clone._chain = self._chain
+        clone._chain_keys = self._chain_keys
         return clone
 
+    def _merged_overlay(self) -> Dict[int, bytes]:
+        """All blocks modified relative to the base (chain + top overlay)."""
+        merged: Dict[int, bytes] = {}
+        for layer in self._chain:
+            merged.update(layer)
+        merged.update(self._overlay)
+        return merged
+
     def materialize(self, name: Optional[str] = None) -> BlockDevice:
-        """Flatten base + overlay into an independent :class:`BlockDevice`."""
+        """Flatten base + overlays into an independent :class:`BlockDevice`."""
         device = self.base.copy(name=name or f"{self.name}-flat")
-        for block, data in self._overlay.items():
+        for block, data in self._merged_overlay().items():
             if data == ZERO_BLOCK:
                 device.discard_block(block)
             else:
@@ -95,18 +142,24 @@ class CowDevice:
 
     def overlay_blocks(self) -> int:
         """Number of blocks that have been modified relative to the base."""
-        return len(self._overlay)
+        if not self._overlay:
+            return len(self._chain_keys)
+        return len(self._chain_keys.union(self._overlay))
+
+    def overlay_layers(self) -> int:
+        """Number of overlay layers (frozen chain + the mutable top)."""
+        return len(self._chain) + 1
 
     def overlay_bytes(self) -> int:
         """Approximate memory the overlay consumes (the paper's §6.5 metric)."""
-        return len(self._overlay) * BLOCK_SIZE
+        return self.overlay_blocks() * BLOCK_SIZE
 
     def written_blocks(self) -> Iterator[Tuple[int, bytes]]:
         """Iterate over ``(block, data)`` for the visible (merged) contents."""
         merged: Dict[int, bytes] = {}
         for block, data in self.base.written_blocks():
             merged[block] = data
-        merged.update(self._overlay)
+        merged.update(self._merged_overlay())
         return iter(sorted(merged.items()))
 
     def used_blocks(self) -> int:
@@ -127,5 +180,5 @@ class CowDevice:
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"CowDevice(name={self.name!r}, base={self.base.name!r}, "
-            f"overlay_blocks={self.overlay_blocks()})"
+            f"overlay_blocks={self.overlay_blocks()}, layers={self.overlay_layers()})"
         )

@@ -66,6 +66,15 @@ class IORequest:
         return self.kind is IOKind.WRITE
 
     @property
+    def is_flush(self) -> bool:
+        return self.kind is IOKind.FLUSH
+
+    @property
+    def is_fua(self) -> bool:
+        """Forced-unit-access write: durable on completion, never in-flight."""
+        return IOFlag.FUA in self.flags
+
+    @property
     def is_metadata(self) -> bool:
         return IOFlag.METADATA in self.flags
 

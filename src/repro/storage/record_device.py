@@ -40,12 +40,19 @@ class RecordingDevice:
     def read_block(self, block: int) -> bytes:
         return self.target.read_block(block)
 
-    def write_block(self, block: int, data: bytes, *, metadata: bool = False, tag: str = "") -> None:
-        """Write a block through to the target, recording the request."""
+    def write_block(self, block: int, data: bytes, *, metadata: bool = False,
+                    fua: bool = False, tag: str = "") -> None:
+        """Write a block through to the target, recording the request.
+
+        ``fua`` marks a forced-unit-access write: durable when it completes,
+        so the crash planners never treat it as in-flight.
+        """
         self.target.write_block(block, data)
         if not self.recording:
             return
         flags: Tuple[IOFlag, ...] = (IOFlag.METADATA,) if metadata else (IOFlag.DATA,)
+        if fua:
+            flags = flags + (IOFlag.FUA,)
         self._seq += 1
         self._log.append(
             IORequest(

@@ -133,3 +133,35 @@ class TestCheckSelection:
         ])
         assert code in (0, 1)
         assert "workloads" in capsys.readouterr().out
+
+
+class TestCrashPlanFlags:
+    def test_reorder_plan_finds_the_barrier_bug(self, tmp_path, capsys):
+        workload_file = tmp_path / "barrier.wl"
+        workload_file.write_text("creat foo\nwrite foo 0 4096\nfsync foo\n")
+        # Ordered (prefix) replay cannot see the missing post-commit flush.
+        assert main(["test", str(workload_file), "--filesystem", "f2fs"]) == 0
+        capsys.readouterr()
+        # The reorder plan drops the in-flight commit record and catches it.
+        assert main([
+            "test", str(workload_file), "--filesystem", "f2fs",
+            "--crash-plan", "reorder", "--reorder-bound", "1",
+        ]) == 1
+        out = capsys.readouterr().out
+        assert "reorder[drop=" in out
+
+    def test_campaign_accepts_crash_plan_flags(self, capsys):
+        code = main([
+            "campaign", "--filesystem", "btrfs", "--preset", "seq-1",
+            "--limit", "10", "--patched", "--crash-plan", "reorder", "--reorder-bound", "1",
+        ])
+        assert code == 0
+        assert "workloads" in capsys.readouterr().out
+
+    def test_invalid_plan_and_bound_are_rejected(self, tmp_path):
+        workload_file = tmp_path / "w.wl"
+        workload_file.write_text("creat foo\nfsync foo\n")
+        with pytest.raises(SystemExit):
+            main(["test", str(workload_file), "--crash-plan", "chaos"])
+        with pytest.raises(SystemExit):
+            main(["test", str(workload_file), "--reorder-bound", "0"])

@@ -1,6 +1,8 @@
 """Figure-5 post-processing and B3 campaigns."""
 
 
+import pytest
+
 from repro.ace import seq1_bounds
 from repro.core import (
     B3Campaign,
@@ -103,8 +105,12 @@ class TestCampaign:
         assert result.failing_workloads > 0
         assert len(result.grouped_reports()) <= len(result.all_reports())
         assert result.mean_test_seconds() > 0
-        profile, replay, check = result.phase_seconds()
-        assert profile > 0 and replay > 0 and check > 0
+        profile, replay, mount, fsck, check = result.phase_seconds()
+        assert profile > 0 and replay > 0 and mount > 0 and check > 0
+        assert fsck >= 0
+        assert sum((profile, replay, mount, fsck, check)) == pytest.approx(
+            sum(r.total_seconds for r in result.results)
+        )
 
     def test_campaign_accepts_supplied_workloads(self):
         config = CampaignConfig(fs_name="fscq", device_blocks=SMALL_DEVICE_BLOCKS)

@@ -45,9 +45,12 @@ class TestHarness:
                              device_blocks=SMALL_DEVICE_BLOCKS).test_workload(workload)
         assert result.profile_seconds > 0
         assert result.replay_seconds > 0
+        assert result.mount_seconds > 0
+        assert result.fsck_seconds == 0  # every crash state mounted
         assert result.check_seconds > 0
         assert result.total_seconds == pytest.approx(
-            result.profile_seconds + result.replay_seconds + result.check_seconds
+            result.profile_seconds + result.replay_seconds + result.mount_seconds
+            + result.fsck_seconds + result.check_seconds
         )
 
     def test_resource_accounting_is_populated(self):

@@ -1,0 +1,369 @@
+"""The crash-plan subsystem: planners, incremental replay, reorder scenarios.
+
+Covers the three guarantees the subsystem makes:
+
+* the ``prefix`` plan reproduces the pre-refactor from-scratch replay byte
+  for byte (proven against ``replay_until_checkpoint`` on the full seq-1
+  space of every simulated file system),
+* the ``reorder`` plan never violates flush/FUA barriers: it only drops
+  non-FUA writes issued after the last flush preceding the crash point, and
+  within the configured bound,
+* crash plans thread through the engine: pool workers rebuild identical
+  planners from the pickled :class:`HarnessSpec`.
+"""
+
+import pickle
+
+import pytest
+
+from repro.ace import AceSynthesizer, seq1_bounds
+from repro.core import B3Campaign, CampaignConfig
+from repro.core.dedup import group_reports
+from repro.crashmonkey import (
+    CrashMonkey,
+    CrashStateGenerator,
+    CrashScenario,
+    PrefixPlanner,
+    ReorderPlanner,
+    WorkloadRecorder,
+    make_planner,
+)
+from repro.engine import HarnessSpec, run_campaign
+from repro.fs import BugConfig, Consequence
+from repro.storage import IOFlag, IOKind, IORequest, replay_until_checkpoint
+from repro.workload import parse_workload
+
+from conftest import SMALL_DEVICE_BLOCKS
+
+#: Workload hitting the flashfs missing-barrier mechanism: the data and the
+#: fsync commit record stay in flight, so only reordering crash states see it.
+BARRIER_BUG_WORKLOAD = "creat foo\nwrite foo 0 4096\nfsync foo"
+
+
+def _write(seq, block, *flags):
+    return IORequest(seq=seq, kind=IOKind.WRITE, block=block, data=b"x", flags=tuple(flags))
+
+
+def _profile(fs_name, text, bugs=None):
+    recorder = WorkloadRecorder(fs_name, bugs, device_blocks=SMALL_DEVICE_BLOCKS)
+    return recorder.profile(parse_workload(text))
+
+
+# --------------------------------------------------------------------------- planners
+
+
+class TestPrefixPlanner:
+    def test_yields_exactly_the_baseline(self):
+        window = [_write(1, 10), _write(2, 11)]
+        scenarios = list(PrefixPlanner().scenarios(3, window))
+        assert len(scenarios) == 1
+        assert scenarios[0].is_baseline
+        assert scenarios[0].scenario_id == "prefix"
+        assert scenarios[0].checkpoint_id == 3
+
+
+class TestReorderPlanner:
+    def test_baseline_comes_first(self):
+        scenarios = list(ReorderPlanner(bound=1).scenarios(1, [_write(1, 10)]))
+        assert scenarios[0].is_baseline
+        assert scenarios[0].scenario_id == "prefix"
+
+    def test_empty_window_yields_only_the_baseline(self):
+        assert len(list(ReorderPlanner(bound=3).scenarios(1, []))) == 1
+
+    def test_drops_are_nonempty_suffixes_per_block(self):
+        # Two writes to block 10: reachable non-baseline states are
+        # "second write lost" and "block never written".
+        window = [_write(1, 10), _write(2, 10)]
+        dropped = {s.dropped_seqs for s in ReorderPlanner(bound=1).scenarios(1, window)}
+        assert dropped == {(), (2,), (1, 2)}
+
+    def test_bound_limits_deviating_blocks(self):
+        window = [_write(1, 10), _write(2, 11), _write(3, 12)]
+        one = [s for s in ReorderPlanner(bound=1).scenarios(1, window) if not s.is_baseline]
+        two = [s for s in ReorderPlanner(bound=2).scenarios(1, window) if not s.is_baseline]
+        assert len(one) == 3                       # one block deviates at a time
+        assert len(two) == 3 + 3                   # plus every pair of blocks
+        blocks = {10: (1,), 11: (2,), 12: (3,)}
+        for scenario in two:
+            deviating = {b for b, seqs in blocks.items() if set(seqs) & set(scenario.dropped_seqs)}
+            assert 1 <= len(deviating) <= 2
+
+    def test_fua_writes_are_never_dropped(self):
+        window = [_write(1, 10), _write(2, 11, IOFlag.FUA)]
+        for scenario in ReorderPlanner(bound=2).scenarios(1, window):
+            assert 2 not in scenario.dropped_seqs
+
+    def test_block_ending_in_a_fua_write_yields_no_duplicate_baseline(self):
+        # Dropping a write that a later FUA write to the same block overwrites
+        # reproduces the baseline state; the planner must not emit it twice.
+        window = [_write(1, 10), _write(2, 10, IOFlag.FUA)]
+        scenarios = list(ReorderPlanner(bound=2).scenarios(1, window))
+        assert len(scenarios) == 1 and scenarios[0].is_baseline
+
+    def test_only_the_suffix_after_a_fua_write_is_droppable(self):
+        window = [_write(1, 10), _write(2, 10, IOFlag.FUA), _write(3, 10)]
+        dropped = {s.dropped_seqs for s in ReorderPlanner(bound=2).scenarios(1, window)}
+        assert dropped == {(), (3,)}
+
+    def test_scenario_ids_are_stable_and_distinct(self):
+        window = [_write(1, 10), _write(2, 11)]
+        ids = [s.scenario_id for s in ReorderPlanner(bound=2).scenarios(1, window)]
+        assert ids[0] == "prefix"
+        assert len(ids) == len(set(ids))
+        assert all(s.startswith("reorder[drop=") for s in ids[1:])
+
+    def test_rejects_nonpositive_bound(self):
+        with pytest.raises(ValueError):
+            ReorderPlanner(bound=0)
+
+    def test_make_planner_factory(self):
+        assert isinstance(make_planner("prefix"), PrefixPlanner)
+        planner = make_planner("reorder", reorder_bound=3)
+        assert isinstance(planner, ReorderPlanner)
+        assert planner.bound == 3
+        with pytest.raises(ValueError):
+            make_planner("chaos")
+
+
+# --------------------------------------------------------------------------- parity
+
+
+@pytest.mark.parametrize("fs_name", ["logfs", "seqfs", "flashfs", "verifs"])
+@pytest.mark.parametrize("bugs", [None, BugConfig.none()], ids=["buggy", "patched"])
+def test_prefix_states_match_from_scratch_replay_on_full_seq1_space(fs_name, bugs):
+    """Incremental construction is byte-for-byte the old per-checkpoint replay."""
+    recorder = WorkloadRecorder(fs_name, bugs, device_blocks=SMALL_DEVICE_BLOCKS)
+    compared = 0
+    for workload in AceSynthesizer(seq1_bounds()).stream():
+        profile = recorder.profile(workload)
+        generator = CrashStateGenerator(profile)
+        for checkpoint_id in profile.checkpoints():
+            legacy = replay_until_checkpoint(profile.base_image, profile.io_log, checkpoint_id)
+            state = generator.generate(checkpoint_id)
+            assert dict(state.device.written_blocks()) == dict(legacy.written_blocks()), (
+                f"{fs_name} {workload.display_name()} @ {checkpoint_id}"
+            )
+            assert state.device.overlay_bytes() == legacy.overlay_bytes()
+            compared += 1
+    assert compared > 0
+
+
+def test_replayed_write_count_is_linear_in_log_length():
+    """One cursor pass: each recorded write is applied exactly once (prefix)."""
+    profile = _profile("logfs", "creat a\nfsync a\ncreat b\nfsync b\ncreat c\nsync\ncreat d\nfsync d")
+    generator = CrashStateGenerator(profile)
+    list(generator.generate_all())
+    recorded_writes = sum(1 for r in profile.io_log if r.is_write)
+    assert generator.replayed_write_requests == recorded_writes
+    # The old per-checkpoint rescan replayed the prefix again per checkpoint.
+    quadratic = sum(
+        sum(1 for r in profile.io_log if r.is_write and r.seq <= marker.seq)
+        for marker in profile.io_log if marker.is_checkpoint
+    )
+    assert generator.replayed_write_requests < quadratic
+
+
+def test_unknown_checkpoint_still_raises_value_error():
+    profile = _profile("logfs", "creat foo\nfsync foo")
+    with pytest.raises(ValueError):
+        CrashStateGenerator(profile).generate(9)
+
+
+def test_generated_states_are_independent_forks():
+    profile = _profile("logfs", "creat foo\nfsync foo", bugs=BugConfig.none())
+    generator = CrashStateGenerator(profile)
+    first = generator.generate(1)
+    second = generator.generate(1)
+    # Mounting (which writes the dirty superblock) must not leak between forks.
+    assert first.device is not second.device
+    assert first.fs is not second.fs
+    assert first.fs.exists("foo") and second.fs.exists("foo")
+
+
+# --------------------------------------------------------------------------- barriers
+
+
+class TestBarrierRespect:
+    """Reorder scenarios never touch writes protected by flush/FUA barriers."""
+
+    def _assert_barriers_respected(self, profile, bound):
+        generator = CrashStateGenerator(profile, planner=ReorderPlanner(bound=bound))
+        by_seq = {r.seq: r for r in profile.io_log}
+        scenarios = list(generator.scenario_plan())
+        for scenario in scenarios:
+            last_flush = max(
+                (r.seq for r in profile.io_log
+                 if r.is_flush and r.seq < self._marker_seq(profile, scenario.checkpoint_id)),
+                default=0,
+            )
+            dropped_blocks = set()
+            for seq in scenario.dropped_seqs:
+                request = by_seq[seq]
+                assert request.is_write, "only writes may be dropped"
+                assert not request.is_fua, "FUA writes are durable on completion"
+                assert request.seq > last_flush, "writes before a flush are durable"
+                dropped_blocks.add(request.block)
+            assert len(dropped_blocks) <= bound
+        return scenarios
+
+    @staticmethod
+    def _marker_seq(profile, checkpoint_id):
+        for request in profile.io_log:
+            if request.is_checkpoint and request.checkpoint_id == checkpoint_id:
+                return request.seq
+        raise AssertionError(f"no marker for checkpoint {checkpoint_id}")
+
+    @pytest.mark.parametrize("fs_name", ["logfs", "seqfs", "flashfs", "verifs"])
+    def test_on_buggy_filesystems(self, fs_name):
+        profile = _profile(fs_name, "creat foo\nwrite foo 0 8192\nfsync foo\nwrite foo 0 4096\nsync")
+        self._assert_barriers_respected(profile, bound=2)
+
+    def test_in_flight_window_exists_only_with_the_barrier_bug(self):
+        buggy = _profile("flashfs", BARRIER_BUG_WORKLOAD,
+                         bugs=BugConfig.only("fsync_no_flush"))
+        scenarios = self._assert_barriers_respected(buggy, bound=2)
+        assert any(not s.is_baseline for s in scenarios)
+
+        patched = _profile("flashfs", BARRIER_BUG_WORKLOAD, bugs=BugConfig.none())
+        assert all(
+            s.is_baseline
+            for s in CrashStateGenerator(patched, planner=ReorderPlanner(bound=2)).scenario_plan()
+        )
+
+
+# --------------------------------------------------------------------------- end to end
+
+
+class TestReorderFindsWhatPrefixCannot:
+    def test_prefix_plan_provably_misses_the_barrier_bug(self):
+        bugs = BugConfig.only("fsync_no_flush")
+        workload = parse_workload(BARRIER_BUG_WORKLOAD, name="barrier-bug")
+
+        prefix = CrashMonkey("flashfs", bugs=bugs, device_blocks=SMALL_DEVICE_BLOCKS
+                             ).test_workload(workload)
+        assert prefix.passed  # ordered replay applies the commit record: no bug visible
+
+        reorder = CrashMonkey("flashfs", bugs=bugs, device_blocks=SMALL_DEVICE_BLOCKS,
+                              crash_plan="reorder", reorder_bound=1).test_workload(workload)
+        assert not reorder.passed
+        # Dropping the in-flight data write loses data; dropping the in-flight
+        # commit record loses the file entirely.
+        consequences = {report.consequence for report in reorder.bug_reports}
+        assert Consequence.FILE_MISSING in consequences
+        assert Consequence.DATA_LOSS in consequences
+        for report in reorder.bug_reports:
+            assert report.scenario.startswith("reorder[drop=")
+            assert all(m.scenario == report.scenario for m in report.mismatches)
+
+    def test_patched_filesystem_passes_under_reorder(self):
+        result = CrashMonkey("flashfs", bugs=BugConfig.none(), device_blocks=SMALL_DEVICE_BLOCKS,
+                             crash_plan="reorder", reorder_bound=2
+                             ).test_workload(parse_workload(BARRIER_BUG_WORKLOAD))
+        assert result.passed
+        assert result.scenarios_tested == result.checkpoints_tested
+
+    def test_patched_seq1_sample_has_no_reorder_false_positives(self):
+        for fs_name in ("logfs", "seqfs", "flashfs", "verifs"):
+            harness = CrashMonkey(fs_name, bugs=BugConfig.none(),
+                                  device_blocks=SMALL_DEVICE_BLOCKS,
+                                  crash_plan="reorder", reorder_bound=2)
+            for workload in AceSynthesizer(seq1_bounds()).sample(25):
+                result = harness.test_workload(workload)
+                assert result.passed, f"{fs_name}: {workload.display_name()}"
+
+    def test_reorder_is_a_superset_of_prefix_findings(self):
+        workload = parse_workload(
+            "creat foo\nlink foo bar\nsync\nunlink bar\ncreat bar\nfsync bar", name="figure1"
+        )
+        prefix = CrashMonkey("logfs", device_blocks=SMALL_DEVICE_BLOCKS).test_workload(workload)
+        reorder = CrashMonkey("logfs", device_blocks=SMALL_DEVICE_BLOCKS,
+                              crash_plan="reorder", reorder_bound=2).test_workload(workload)
+        prefix_findings = {(r.checkpoint_id, r.consequence) for r in prefix.bug_reports}
+        reorder_findings = {(r.checkpoint_id, r.consequence)
+                            for r in reorder.bug_reports if r.scenario == "prefix"}
+        assert prefix_findings <= reorder_findings
+
+    def test_dedup_groups_reorder_and_prefix_reports_together(self):
+        # Same skeleton + consequence from different plans is one bug group.
+        bugs = BugConfig.only("fsync_no_flush")
+        workload = parse_workload(BARRIER_BUG_WORKLOAD, name="barrier-bug")
+        reorder = CrashMonkey("flashfs", bugs=bugs, device_blocks=SMALL_DEVICE_BLOCKS,
+                              crash_plan="reorder", reorder_bound=2).test_workload(workload)
+        reports = reorder.bug_reports
+        assert len(reports) >= 1
+        groups = group_reports(reports * 2)  # duplicated reports must collapse
+        assert len(groups) == len({r.group_key() for r in reports})
+
+
+# --------------------------------------------------------------------------- timing split
+
+
+class TestTimingSplit:
+    def test_mountable_state_has_no_fsck_time(self):
+        profile = _profile("logfs", "creat foo\nfsync foo", bugs=BugConfig.none())
+        state = CrashStateGenerator(profile).generate(1)
+        assert state.mountable
+        assert state.replay_seconds >= 0
+        assert state.mount_seconds > 0
+        assert state.fsck_seconds == 0
+
+    def test_unmountable_state_attributes_fsck_time(self):
+        profile = _profile(
+            "logfs", "creat foo\nlink foo bar\nsync\nunlink bar\ncreat bar\nfsync bar", bugs=None
+        )
+        state = CrashStateGenerator(profile).generate(2)
+        assert not state.mountable
+        assert state.mount_seconds > 0
+        assert state.fsck_seconds > 0
+
+    def test_result_aggregates_the_split_phases(self):
+        result = CrashMonkey("logfs", bugs=BugConfig.none(), device_blocks=SMALL_DEVICE_BLOCKS
+                             ).test_workload(parse_workload("creat foo\nfsync foo"))
+        assert result.mount_seconds > 0
+        assert result.replay_seconds > 0
+        assert result.replayed_write_requests > 0
+        assert result.total_seconds >= (
+            result.replay_seconds + result.mount_seconds + result.check_seconds
+        )
+
+
+# --------------------------------------------------------------------------- engine
+
+
+class TestCrashPlanThroughTheEngine:
+    def test_scenarios_and_specs_pickle(self):
+        scenario = CrashScenario(checkpoint_id=2, plan="reorder", dropped_seqs=(4, 7))
+        assert pickle.loads(pickle.dumps(scenario)) == scenario
+        spec = HarnessSpec(fs_name="f2fs", crash_plan="reorder", reorder_bound=3,
+                           device_blocks=SMALL_DEVICE_BLOCKS)
+        rebuilt = pickle.loads(pickle.dumps(spec)).build()
+        assert rebuilt.crash_plan == "reorder"
+        assert rebuilt.reorder_bound == 3
+
+    def test_pool_workers_rebuild_the_reorder_planner(self):
+        spec = HarnessSpec(fs_name="f2fs", bugs=BugConfig.only("fsync_no_flush"),
+                           device_blocks=SMALL_DEVICE_BLOCKS,
+                           crash_plan="reorder", reorder_bound=1)
+        workloads = [parse_workload(BARRIER_BUG_WORKLOAD, name=f"wl-{i}") for i in range(6)]
+        serial = run_campaign(spec, iter(workloads), processes=1, chunk_size=2)
+        pooled = run_campaign(spec, iter(workloads), processes=2, chunk_size=2)
+
+        def findings(run):
+            return [
+                (r.checkpoint_id, r.consequence, r.scenario)
+                for result in run.result.results for r in result.bug_reports
+            ]
+
+        assert findings(serial) == findings(pooled)
+        assert findings(pooled), "reorder findings must survive the pool boundary"
+
+    def test_campaign_config_threads_the_plan(self):
+        config = CampaignConfig(fs_name="f2fs", bugs=BugConfig.only("fsync_no_flush"),
+                                bounds=seq1_bounds(), max_workloads=5,
+                                device_blocks=SMALL_DEVICE_BLOCKS,
+                                crash_plan="reorder", reorder_bound=1)
+        campaign = B3Campaign(config)
+        assert campaign.spec.crash_plan == "reorder"
+        assert campaign.spec.reorder_bound == 1
+        assert campaign.harness.crash_plan == "reorder"

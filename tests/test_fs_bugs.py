@@ -230,6 +230,13 @@ MECHANISM_WORKLOADS = [
         """,
     ),
     (
+        "fsync_no_flush", "flashfs", """
+        creat foo
+        write foo 0 4096
+        fsync foo
+        """,
+    ),
+    (
         "dwrite_size_zero", "seqfs", """
         creat foo
         write foo 16384 4096
@@ -258,15 +265,24 @@ MECHANISM_WORKLOADS = [
 ]
 
 
+#: Mechanisms whose effect is invisible to ordered (prefix) replay: they need
+#: the reordering crash plan, which drops in-flight writes, to manifest.
+REORDER_ONLY_MECHANISMS = {
+    "fsync_no_flush": {"crash_plan": "reorder", "reorder_bound": 1},
+}
+
+
 @pytest.mark.parametrize("bug_id,fs_name,text", MECHANISM_WORKLOADS,
                          ids=[f"{bug}-{fs}" for bug, fs, _ in MECHANISM_WORKLOADS])
 class TestMechanismsEndToEnd:
     def test_enabled_mechanism_is_found_by_the_harness(self, bug_id, fs_name, text):
-        result = run_workload_text(fs_name, text, bugs=BugConfig.only(bug_id))
+        kwargs = REORDER_ONLY_MECHANISMS.get(bug_id, {})
+        result = run_workload_text(fs_name, text, bugs=BugConfig.only(bug_id), **kwargs)
         assert not result.passed, f"{bug_id} not detected on {fs_name}"
 
     def test_patched_filesystem_passes_the_same_workload(self, bug_id, fs_name, text):
-        result = run_workload_text(fs_name, text, bugs=BugConfig.none())
+        kwargs = REORDER_ONLY_MECHANISMS.get(bug_id, {})
+        result = run_workload_text(fs_name, text, bugs=BugConfig.none(), **kwargs)
         assert result.passed, f"patched {fs_name} flagged for {bug_id}"
 
 
