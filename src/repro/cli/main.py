@@ -92,10 +92,15 @@ def _add_crash_plan_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--crash-plan", choices=list(PLAN_NAMES), default="prefix",
                         help="crash scenarios per persistence point: 'prefix' tests the "
                              "fully-persisted state, 'reorder' also drops bounded subsets "
-                             "of in-flight (post-flush, non-FUA) writes")
+                             "of in-flight (post-flush, non-FUA) writes, 'torn' "
+                             "additionally tears in-flight writes at 512-byte sector "
+                             "granularity (metadata-tagged blocks first)")
     parser.add_argument("--reorder-bound", type=_positive_int, default=2, metavar="N",
-                        help="reorder plan: max blocks deviating from the baseline "
+                        help="reorder/torn plans: max blocks deviating from the baseline "
                              "per scenario (default: 2)")
+    parser.add_argument("--torn-bound", type=_positive_int, default=2, metavar="N",
+                        help="torn plan: max in-flight writes torn per checkpoint, "
+                             "commit-area blocks first (default: 2)")
 
 
 def _add_check_selection_args(parser: argparse.ArgumentParser) -> None:
@@ -148,7 +153,8 @@ def cmd_test(args) -> int:
     workload = parse_workload(text, name=args.workload)
     harness = CrashMonkey(args.filesystem, bugs=_bugs_from_args(args),
                           checks=args.checks, skip_checks=args.skip_checks or (),
-                          crash_plan=args.crash_plan, reorder_bound=args.reorder_bound)
+                          crash_plan=args.crash_plan, reorder_bound=args.reorder_bound,
+                          torn_bound=args.torn_bound)
     result = harness.test_workload(workload)
     print(result.summary())
     for report in result.bug_reports:
@@ -169,6 +175,7 @@ def cmd_campaign(args) -> int:
         skip_checks=args.skip_checks or (),
         crash_plan=args.crash_plan,
         reorder_bound=args.reorder_bound,
+        torn_bound=args.torn_bound,
         processes=args.processes,
         chunk_size=args.chunk_size,
     )

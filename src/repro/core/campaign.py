@@ -46,10 +46,14 @@ class CampaignConfig:
     checks: Optional[Sequence[str]] = None
     #: consistency checks to skip, by registered name
     skip_checks: Sequence[str] = ()
-    #: crash-scenario plan per persistence point ("prefix" or "reorder")
+    #: crash-scenario plan per persistence point ("prefix", "reorder" or "torn")
     crash_plan: str = "prefix"
     #: reorder-plan bound: blocks allowed to deviate per scenario
     reorder_bound: int = 2
+    #: torn-plan bound: in-flight writes (metadata-tagged first) torn per checkpoint
+    torn_bound: int = 2
+    #: skip crash states at checkpoints that provably repeat an earlier one
+    dedup_scenarios: bool = True
     #: worker processes; 1 = serial in-process, >1 = process-pool backend
     processes: int = 1
     #: workloads per dispatched chunk (None = engine default)
@@ -73,6 +77,8 @@ class B3Campaign:
             skip_checks=tuple(config.skip_checks),
             crash_plan=config.crash_plan,
             reorder_bound=config.reorder_bound,
+            torn_bound=config.torn_bound,
+            dedup_scenarios=config.dedup_scenarios,
         )
         self._harness: Optional[CrashMonkey] = None
         #: engine bookkeeping of the most recent :meth:`run` (chunk stats, wall clock)

@@ -81,7 +81,9 @@ class CampaignResult:
         """Total (profile, replay, mount, fsck, check) seconds across all
         workloads — the §6.3 phases, with crash-state construction (replay),
         mounting/recovery, and fsck attributed separately.  The five components
-        sum to the campaign's total testing time."""
+        sum to the CPU time spent testing, summed over workers; under a
+        parallel backend that exceeds ``testing_seconds``, which is wall
+        clock."""
         profile = sum(result.profile_seconds for result in self.results)
         replay = sum(result.replay_seconds for result in self.results)
         mount = sum(result.mount_seconds for result in self.results)

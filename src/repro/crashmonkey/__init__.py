@@ -15,6 +15,7 @@ from .crashplan import (
     CrashScenario,
     PrefixPlanner,
     ReorderPlanner,
+    TornWritePlanner,
     make_planner,
 )
 from .harness import CrashMonkey
@@ -43,6 +44,7 @@ __all__ = [
     "CrashScenario",
     "PrefixPlanner",
     "ReorderPlanner",
+    "TornWritePlanner",
     "PLAN_NAMES",
     "make_planner",
     "BugReport",

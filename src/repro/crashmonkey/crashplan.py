@@ -16,6 +16,14 @@ Two planners ship:
   disk may complete cached writes in any order and lose any subset of them on
   power failure, but it never loses a write issued *before* a completed flush
   and never loses a FUA write, so those are off-limits to the planner.
+* ``torn`` — a strict superset of ``reorder`` that additionally *tears*
+  in-flight writes at sector granularity: blocks are 4096 bytes but disks
+  persist 512-byte sectors, so a power failure mid-write leaves the first
+  *k* sectors of the new payload over the block's prior content.  This is
+  exactly the failure mode journaling checksums exist for, and the only one
+  that exposes a checkpoint committed by a FUA superblock whose blocks were
+  never flushed.  The tear budget is spent preferentially on metadata-tagged
+  writes (superblock / log / checkpoint areas) before data blocks.
 
 The reorder enumeration relies on a collapse of the scenario space: since the
 final content of a block is decided solely by the *last* surviving write to
@@ -32,6 +40,7 @@ from dataclasses import dataclass
 from itertools import combinations, product
 from typing import Dict, Iterator, List, Sequence, Tuple
 
+from ..storage.block import SECTORS_PER_BLOCK
 from ..storage.io_request import IORequest
 
 #: Scenario id of the fully-persisted state at a checkpoint (the only state
@@ -44,27 +53,34 @@ class CrashScenario:
     """One storage state to construct and check at a checkpoint.
 
     ``dropped_seqs`` names the in-flight write requests (by their recorded
-    sequence number) that never reached stable storage; empty means the
-    fully-persisted baseline.  Frozen and made of plain tuples so scenarios
-    pickle cleanly through process-pool backends.
+    sequence number) that never reached stable storage; ``torn`` holds
+    ``(seq, sectors_applied)`` pairs for in-flight writes a crash tore
+    mid-block (only the first ``sectors_applied`` sectors of the payload
+    landed).  Both empty means the fully-persisted baseline.  Frozen and made
+    of plain tuples so scenarios pickle cleanly through process-pool backends.
     """
 
     checkpoint_id: int
     plan: str
     dropped_seqs: Tuple[int, ...] = ()
+    torn: Tuple[Tuple[int, int], ...] = ()
     description: str = ""
 
     @property
     def is_baseline(self) -> bool:
-        return not self.dropped_seqs
+        return not self.dropped_seqs and not self.torn
 
     @property
     def scenario_id(self) -> str:
         """Stable tag used to label crash states and bug reports."""
         if self.is_baseline:
             return BASELINE_SCENARIO
-        dropped = ",".join(str(seq) for seq in self.dropped_seqs)
-        return f"{self.plan}[drop={dropped}]"
+        parts = []
+        if self.dropped_seqs:
+            parts.append("drop=" + ",".join(str(seq) for seq in self.dropped_seqs))
+        if self.torn:
+            parts.append("tear=" + ",".join(f"{seq}:{sectors}" for seq, sectors in self.torn))
+        return f"{self.plan}[{';'.join(parts)}]"
 
 
 class CrashPlanner:
@@ -171,15 +187,91 @@ class ReorderPlanner(CrashPlanner):
         return by_block
 
 
-#: Registered plan names → planner factories.  ``reorder_bound`` is accepted
-#: by every factory so harness specs can rebuild planners uniformly.
-PLAN_NAMES: Tuple[str, ...] = ("prefix", "reorder")
+#: Tag values the fs layer stamps on writes to the commit-critical disk areas.
+#: The torn planner spends its tear budget on these first: a torn data block
+#: loses one file's bytes, a torn commit structure can take down recovery.
+_COMMIT_AREA_TAGS = frozenset({"superblock", "checkpoint", "log"})
 
 
-def make_planner(name: str, reorder_bound: int = 2) -> CrashPlanner:
+class TornWritePlanner(ReorderPlanner):
+    """Reorder scenarios plus sector-granular torn writes.
+
+    A strict superset of :class:`ReorderPlanner` (which is itself a strict
+    superset of the prefix plan): after the baseline and the bounded dropped
+    states, the planner tears up to ``torn_bound`` in-flight writes — one per
+    scenario, at every sector cut ``1..SECTORS_PER_BLOCK - 1`` — so the crash
+    state carries the first *k* sectors of the new payload over the block's
+    prior content.
+
+    Only each block's *last* surviving write is a tear candidate: tearing an
+    earlier write is unobservable under the later one, and a block whose
+    window ends in a FUA write cannot deviate from the baseline at all.
+    Candidates are ordered metadata-first (commit-area tags, then other
+    metadata, then data) which is where the bounded budget buys the most
+    coverage — torn log/checkpoint blocks are exactly what journaling
+    checksums guard against.
+
+    Args:
+        torn_bound: maximum number of distinct in-flight writes that receive
+            tear scenarios per checkpoint.  Each torn write contributes
+            ``SECTORS_PER_BLOCK - 1`` scenarios (one per sector cut).
+        reorder_bound: passed through to the reorder superset (see
+            :class:`ReorderPlanner`).
+    """
+
+    name = "torn"
+
+    def __init__(self, torn_bound: int = 2, reorder_bound: int = 2):
+        super().__init__(bound=reorder_bound)
+        if torn_bound < 1:
+            raise ValueError(f"torn bound must be >= 1, got {torn_bound}")
+        self.torn_bound = torn_bound
+
+    def scenarios(self, checkpoint_id: int,
+                  window: Sequence[IORequest]) -> Iterator[CrashScenario]:
+        yield from super().scenarios(checkpoint_id, window)
+        for request in self._tear_candidates(window):
+            for sectors in range(1, SECTORS_PER_BLOCK):
+                yield CrashScenario(
+                    checkpoint_id=checkpoint_id,
+                    plan=self.name,
+                    torn=((request.seq, sectors),),
+                    description=(
+                        f"crash tore the in-flight write to block {request.block} "
+                        f"({request.tag or 'untagged'}) after {sectors} of "
+                        f"{SECTORS_PER_BLOCK} sectors"
+                    ),
+                )
+
+    def _tear_candidates(self, window: Sequence[IORequest]) -> List[IORequest]:
+        """The bounded, metadata-first list of writes to tear."""
+        candidates = [writes[-1] for writes in self._droppable_by_block(window).values()]
+
+        def priority(request: IORequest) -> Tuple[int, int]:
+            if request.tag in _COMMIT_AREA_TAGS:
+                rank = 0
+            elif request.is_metadata:
+                rank = 1
+            else:
+                rank = 2
+            return (rank, request.seq)
+
+        candidates.sort(key=priority)
+        return candidates[: self.torn_bound]
+
+
+#: Registered plan names → planner factories.  ``reorder_bound`` and
+#: ``torn_bound`` are accepted by every factory so harness specs can rebuild
+#: planners uniformly.
+PLAN_NAMES: Tuple[str, ...] = ("prefix", "reorder", "torn")
+
+
+def make_planner(name: str, reorder_bound: int = 2, torn_bound: int = 2) -> CrashPlanner:
     """Build a planner by registered name (the harness-spec rebuild path)."""
     if name == "prefix":
         return PrefixPlanner()
     if name == "reorder":
         return ReorderPlanner(bound=reorder_bound)
+    if name == "torn":
+        return TornWritePlanner(torn_bound=torn_bound, reorder_bound=reorder_bound)
     raise ValueError(f"unknown crash plan {name!r}; available: {', '.join(PLAN_NAMES)}")

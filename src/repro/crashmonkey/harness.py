@@ -41,6 +41,8 @@ class CrashMonkey:
                  skip_checks: Iterable[str] = (),
                  crash_plan: str = "prefix",
                  reorder_bound: int = 2,
+                 torn_bound: int = 2,
+                 dedup_scenarios: bool = True,
                  kernel_version: str = "4.16"):
         """
         Args:
@@ -57,10 +59,18 @@ class CrashMonkey:
             checks: names of registered checks to run (None = all).
             skip_checks: names of registered checks to skip.
             crash_plan: crash-scenario plan per persistence point: "prefix"
-                (one fully-persisted state, the classic model) or "reorder"
-                (additionally drop bounded subsets of in-flight writes).
-            reorder_bound: for the reorder plan, the maximum number of blocks
-                whose content may deviate from the baseline per scenario.
+                (one fully-persisted state, the classic model), "reorder"
+                (additionally drop bounded subsets of in-flight writes), or
+                "torn" (reorder plus sector-granular torn in-flight writes).
+            reorder_bound: for the reorder/torn plans, the maximum number of
+                blocks whose content may deviate from the baseline per
+                scenario.
+            torn_bound: for the torn plan, the maximum number of in-flight
+                writes (metadata-tagged blocks first) torn per checkpoint.
+            dedup_scenarios: skip constructing/checking crash states at a
+                checkpoint that provably repeats an earlier one (same stable
+                fork, window, and expectations — recurs whenever no flush or
+                write intervenes between persistence points).
             kernel_version: label attached to bug reports.
         """
         self.fs_name = resolve_fs_name(fs_name)
@@ -69,9 +79,11 @@ class CrashMonkey:
         self.only_last_checkpoint = only_last_checkpoint
         self.crash_plan = crash_plan
         self.reorder_bound = reorder_bound
+        self.torn_bound = torn_bound
+        self.dedup_scenarios = dedup_scenarios
         # Planners are stateless, so one instance serves every workload (and
         # building it here fails fast on a bad plan name or bound).
-        self.planner = make_planner(crash_plan, reorder_bound)
+        self.planner = make_planner(crash_plan, reorder_bound, torn_bound)
         self.kernel_version = kernel_version
         self.recorder = WorkloadRecorder(self.fs_name, self.bugs, device_blocks=device_blocks)
         self.checker = CheckPipeline(checks=checks, skip_checks=skip_checks,
@@ -102,7 +114,8 @@ class CrashMonkey:
         if self.only_last_checkpoint and checkpoints:
             checkpoints = [checkpoints[-1]]
 
-        generator = CrashStateGenerator(profile, planner=self.planner)
+        generator = CrashStateGenerator(profile, planner=self.planner,
+                                        dedup_scenarios=self.dedup_scenarios)
         result.checkpoints_tested = len(checkpoints)
         for crash_state in generator.generate_scenarios(checkpoints):
             result.replay_seconds += crash_state.replay_seconds
@@ -136,6 +149,7 @@ class CrashMonkey:
         # The one-pass incremental build is replay work shared by every state.
         result.replay_seconds += generator.build_seconds
         result.replayed_write_requests = generator.replayed_write_requests
+        result.deduped_scenarios = generator.deduped_scenarios
         return result
 
     def test_stream(self, workloads) -> "Iterator[CrashTestResult]":

@@ -23,7 +23,7 @@ plan additionally explores crashes that lose bounded subsets of the in-flight
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from ..errors import HarnessError, UnmountableError
@@ -33,6 +33,7 @@ from ..storage.cow_device import CowDevice
 from ..storage.io_request import IORequest
 from .crashplan import CrashPlanner, CrashScenario, PrefixPlanner
 from .recorder import WorkloadProfile
+from .tracker import TrackerView
 
 
 @dataclass
@@ -87,19 +88,34 @@ class _CheckpointRecord:
     window: Tuple[IORequest, ...]
 
 
+def _normalized_tracker_view(view: TrackerView) -> Tuple:
+    """Tracker view with the checkpoint numbering stripped, for equivalence."""
+    files = {ino: replace(f, last_checkpoint=0) for ino, f in view.files.items()}
+    dirs = {ino: replace(d, last_checkpoint=0) for ino, d in view.dirs.items()}
+    return (files, dirs, view.renames)
+
+
 class CrashStateGenerator:
     """Builds and mounts crash states from a workload profile."""
 
     def __init__(self, profile: WorkloadProfile, run_fsck_on_failure: bool = True,
-                 planner: Optional[CrashPlanner] = None):
+                 planner: Optional[CrashPlanner] = None,
+                 dedup_scenarios: bool = True):
         self.profile = profile
         self.fs_class = get_fs_class(profile.fs_name)
         self.run_fsck_on_failure = run_fsck_on_failure
         self.planner = planner if planner is not None else PrefixPlanner()
+        #: skip constructing/checking a checkpoint's scenarios when an earlier
+        #: checkpoint provably yields the same states and expectations
+        self.dedup_scenarios = dedup_scenarios
         #: write requests applied to devices so far (one per recorded write
         #: for the single cursor pass, plus the re-applied window writes of
         #: each non-baseline scenario)
         self.replayed_write_requests = 0
+        #: scenarios skipped by cross-checkpoint dedup (each one would have
+        #: constructed, mounted and checked a state identical to one already
+        #: tested — and double-counted its bug reports)
+        self.deduped_scenarios = 0
         #: wall-clock seconds of the one-pass incremental build
         self.build_seconds = 0.0
         self._records: Optional[Dict[int, _CheckpointRecord]] = None
@@ -157,10 +173,18 @@ class CrashStateGenerator:
             name=f"crash-{record.checkpoint_id}-{scenario.scenario_id}"
         )
         dropped = set(scenario.dropped_seqs)
+        torn = dict(scenario.torn)
         for request in record.window:
             if not request.is_write or request.seq in dropped:
                 continue
-            device.write_block(request.block, request.data)
+            sectors = torn.get(request.seq)
+            if sectors is None:
+                device.write_block(request.block, request.data)
+            else:
+                # Torn write: only the first `sectors` sectors of the payload
+                # landed; the rest of the block keeps its prior content (the
+                # stable state plus any earlier surviving window writes).
+                device.write_sectors(request.block, request.data, sectors)
             self.replayed_write_requests += 1
         return device
 
@@ -211,13 +235,58 @@ class CrashStateGenerator:
     def generate_scenarios(
         self, checkpoint_ids: Optional[Sequence[int]] = None
     ) -> Iterator[CrashState]:
-        """Yield a crash state per planner scenario per persistence point."""
+        """Yield a crash state per planner scenario per persistence point.
+
+        With ``dedup_scenarios`` enabled, a checkpoint that provably repeats
+        an earlier one is skipped entirely: when no flush and no write
+        intervene, both share the same stable fork and in-flight window, so
+        every ``(stable, dropped, torn)`` state the planner enumerates is
+        byte-identical to one already constructed — and when the oracle and
+        tracker expectations also match, re-mounting and re-checking it can
+        only double-count the same bug reports.  Skipped scenarios are
+        counted in :attr:`deduped_scenarios`.
+        """
         if checkpoint_ids is None:
             checkpoint_ids = self.profile.checkpoints()
+        tested: Dict[Tuple[int, Tuple[int, ...]], int] = {}
         for checkpoint_id in checkpoint_ids:
             record = self._record_for(checkpoint_id)
+            if self.dedup_scenarios:
+                key = (id(record.stable), tuple(r.seq for r in record.window))
+                twin = tested.get(key)
+                if twin is not None and self._checkpoints_equivalent(twin, checkpoint_id):
+                    self.deduped_scenarios += sum(
+                        1 for _ in self.planner.scenarios(checkpoint_id, record.window)
+                    )
+                    continue
+                # Remember the *latest* checkpoint tested for this fork/window:
+                # expectations drift monotonically with the workload, so the
+                # nearest earlier twin is the one a later repeat can match.
+                tested[key] = checkpoint_id
             for scenario in self.planner.scenarios(checkpoint_id, record.window):
                 yield self._construct(record, scenario)
+
+    def _checkpoints_equivalent(self, tested_id: int, candidate_id: int) -> bool:
+        """Whether checking ``candidate_id`` could find anything new.
+
+        Called only for checkpoints that already share their stable fork and
+        window (identical reachable crash states); what remains is whether the
+        *expectations* agree: same oracle state and same tracker view (modulo
+        checkpoint numbering).  A persistence point that promised new data
+        without writing anything (a buggy no-op fsync path) changes the
+        oracle, and its states must still be checked against it.
+        """
+        oracle_a = self.profile.oracles.get(tested_id)
+        oracle_b = self.profile.oracles.get(candidate_id)
+        if oracle_a is None or oracle_b is None or oracle_a.state != oracle_b.state:
+            return False
+        view_a = self.profile.tracker_views.get(tested_id)
+        view_b = self.profile.tracker_views.get(candidate_id)
+        if (view_a is None) != (view_b is None):
+            return False
+        if view_a is None:
+            return True
+        return _normalized_tracker_view(view_a) == _normalized_tracker_view(view_b)
 
     def scenario_plan(
         self, checkpoint_ids: Optional[Sequence[int]] = None

@@ -136,9 +136,15 @@ class BugReport:
 
     @property
     def consequence(self) -> str:
-        """The most severe consequence among the mismatches."""
+        """The most severe consequence among the mismatches.
+
+        Consequence strings outside the known :class:`Severity` classes are
+        surfaced as-is (they rank last via :meth:`Severity.rank_of`), never
+        silently relabelled as corruption — rewriting them would hide new
+        consequence classes from grouping and the Figure-5 post-processing.
+        """
         primary = self.primary
-        if primary is None or primary.severity is None:
+        if primary is None:
             return Consequence.CORRUPTION
         return primary.consequence
 
@@ -192,10 +198,20 @@ class CrashTestResult:
     workload: Workload
     fs_type: str
     fs_model: str
+    #: persistence points selected for testing (a checkpoint whose scenarios
+    #: were all skipped by cross-checkpoint dedup still counts as tested —
+    #: its byte-identical states were checked at an earlier checkpoint)
     checkpoints_tested: int = 0
-    #: crash scenarios tested (== checkpoints_tested under the prefix plan;
-    #: larger when a reordering plan enumerates several states per checkpoint)
+    #: crash scenarios actually constructed and checked; equals
+    #: ``checkpoints_tested`` under the prefix plan with dedup disabled,
+    #: larger when a reordering plan enumerates several states per
+    #: checkpoint, smaller when dedup skips repeat checkpoints
     scenarios_tested: int = 0
+    #: scenarios skipped because an earlier checkpoint already tested the
+    #: byte-identical state against identical expectations (cross-checkpoint
+    #: dedup on flush-free windows); scenarios_tested + deduped_scenarios is
+    #: the full planner enumeration
+    deduped_scenarios: int = 0
     bug_reports: List[BugReport] = field(default_factory=list)
     #: timing breakdown in seconds: profile / replay / mount / fsck / check.
     #: ``replay_seconds`` covers only crash-state *construction* (the paper's

@@ -37,10 +37,14 @@ class HarnessSpec:
     #: (selecting it by name raises ``KeyError`` there).
     checks: Optional[Tuple[str, ...]] = None
     skip_checks: Tuple[str, ...] = ()
-    #: crash-plan selection by name + bound; workers rebuild an identical
+    #: crash-plan selection by name + bounds; workers rebuild an identical
     #: planner from these plain values (planner objects are never pickled)
     crash_plan: str = "prefix"
     reorder_bound: int = 2
+    torn_bound: int = 2
+    #: skip crash states at a checkpoint that provably repeats an earlier one
+    #: (same stable fork, window and expectations — flush-free windows)
+    dedup_scenarios: bool = True
     kernel_version: str = "4.16"
 
     def build(self) -> CrashMonkey:
@@ -55,5 +59,7 @@ class HarnessSpec:
             skip_checks=self.skip_checks,
             crash_plan=self.crash_plan,
             reorder_bound=self.reorder_bound,
+            torn_bound=self.torn_bound,
+            dedup_scenarios=self.dedup_scenarios,
             kernel_version=self.kernel_version,
         )

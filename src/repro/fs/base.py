@@ -23,6 +23,7 @@ from __future__ import annotations
 from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from ..errors import (
+    CorruptionError,
     FsExistsError,
     FsInvalidArgumentError,
     FsIsADirectoryError,
@@ -85,10 +86,20 @@ class AbstractFileSystem:
                 f"device is formatted as {superblock.fs_type!r}, not {self.fs_type!r}",
                 fs_type=self.fs_type,
             )
-        self.generation = superblock.generation
-        payload = layout.read_checkpoint(self.device, superblock)
+        try:
+            payload = layout.read_checkpoint(self.device, superblock)
+        except CorruptionError as exc:
+            # A chunk's header sector belongs to this checkpoint but its
+            # payload tail was torn mid-write: the commit record (the FUA
+            # superblock) vouches for a checkpoint that is garbage.
+            raise RecoveryError(str(exc), fs_type=self.fs_type)
         if payload is None:
-            raise RecoveryError("checkpoint unreadable or torn", fs_type=self.fs_type)
+            # The committed checkpoint never fully landed (a chunk still holds
+            # an earlier generation's content): the commit was incomplete, so
+            # recover from the newest checkpoint that *is* valid — like F2FS
+            # picking between its two checkpoint packs by version.
+            payload, superblock = self._fallback_checkpoint(superblock)
+        self.generation = superblock.generation
         self._load_meta(payload)
         self.recovery_ran = False
         if not superblock.clean_unmount:
@@ -115,6 +126,31 @@ class AbstractFileSystem:
             superblock.clean_unmount = True
             layout.write_superblock(self.device, superblock)
         self.mounted = False
+
+    def _fallback_checkpoint(self, superblock: layout.Superblock):
+        """Recover the previous generation's checkpoint from the other area.
+
+        The checkpoint named by the superblock was incomplete (some chunk
+        never reached the platter), so the last *fully durable* metadata is
+        the previous generation's checkpoint in the alternate area; the log
+        entries of that generation then roll the state forward.  Returns the
+        payload and the superblock rewritten to describe what was actually
+        mounted (the mount-time dirty-superblock write persists it).
+        """
+        previous_generation = superblock.generation - 1
+        fallback_area = "B" if superblock.checkpoint_area == "A" else "A"
+        recovered = None
+        if previous_generation >= 1:
+            recovered = layout.read_checkpoint_area(
+                self.device, fallback_area, previous_generation
+            )
+        if recovered is None:
+            raise RecoveryError("checkpoint unreadable or torn", fs_type=self.fs_type)
+        payload, blocks = recovered
+        superblock.generation = previous_generation
+        superblock.checkpoint_area = fallback_area
+        superblock.checkpoint_blocks = blocks
+        return payload, superblock
 
     def _current_superblock(self) -> layout.Superblock:
         superblock = layout.read_superblock(self.device)
@@ -679,13 +715,38 @@ class AbstractFileSystem:
             if inode.is_file and inode.dirty_data:
                 self._flush_inode_data(inode)
             inode.mmap_ranges = []
+        meta = self._serialize_meta()
+        # When the commit skips the flush before the FUA superblock (the
+        # missing_flush_before_fua mechanism), an *incomplete* commit becomes
+        # reachable: a crash can drop a checkpoint block whose old-generation
+        # header recovery detects, falling back to the previous checkpoint.
+        # Journal the full metadata tree first so that fallback rolls the
+        # state forward instead of losing what sync() promised durable — the
+        # bug's only observable effect is then the sector-torn block a
+        # header check cannot catch.  A correct commit flushes the checkpoint
+        # blocks before the superblock, so the fallback is unreachable and
+        # the entry would be pure write-stream inflation.  Written directly
+        # (not via _append_log_entry, whose no-space fallback is a recursive
+        # sync()): a full log must not abort the commit, because the
+        # checkpoint itself is what frees the log.
+        if self._skip_flush_before_fua() and self.generation >= 1:
+            self.log_seq += 1
+            try:
+                self.next_log_block = layout.write_log_entry(
+                    self.device,
+                    {"kind": "journal_commit", "meta": meta, "datasync": False},
+                    self.generation, self.log_seq, self.next_log_block,
+                )
+            except FsNoSpaceError:
+                pass
         # Data must be stable before the checkpoint that references it, and
         # the checkpoint blocks before the (FUA) superblock that names them.
         self._device_flush()
         self.generation += 1
         area = "A" if self.generation % 2 == 1 else "B"
-        blocks = layout.write_checkpoint(self.device, self._serialize_meta(), self.generation, area)
-        self._device_flush()
+        blocks = layout.write_checkpoint(self.device, meta, self.generation, area)
+        if not self._skip_flush_before_fua():
+            self._device_flush()
         superblock = layout.Superblock(
             fs_type=self.fs_type,
             generation=self.generation,
@@ -1012,6 +1073,16 @@ class AbstractFileSystem:
     def _skip_commit_barrier(self) -> bool:
         """Buggy file systems that omit the post-commit flush override this."""
         return False
+
+    def _skip_flush_before_fua(self) -> bool:
+        """Whether the checkpoint commit omits the flush before the FUA superblock.
+
+        The FUA superblock is durable the moment it completes, but without the
+        preceding cache flush it can commit a checkpoint whose blocks are
+        still in flight.  Keyed off the bug config directly: the mechanism
+        only exists in configs of file systems it applies to.
+        """
+        return self.bugs.is_enabled("missing_flush_before_fua")
 
     # ------------------------------------------------------------------ log replay
 

@@ -260,6 +260,25 @@ def _mechanisms() -> List[BugMechanism]:
             "2017",
         ),
         BugMechanism(
+            "missing_flush_before_fua",
+            ("flashfs", "seqfs"),
+            "No cache flush before the FUA superblock commit",
+            "The checkpoint commit writes the superblock with FUA (durable on "
+            "completion) but skips the cache flush that must precede it, so "
+            "the superblock can commit a checkpoint whose blocks are still in "
+            "the disk write cache.  A power failure at that point may tear a "
+            "checkpoint block mid-write: its header sector identifies it as "
+            "the committed checkpoint while the payload tail is stale, and "
+            "recovery fails on the corrupt checkpoint.  Invisible to ordered "
+            "replay, and invisible even to whole-block reordering plans — a "
+            "cleanly dropped checkpoint block still carries its old "
+            "generation's header, which recovery detects and safely falls "
+            "back from.  Only sector-granular torn-write crash states hit it.",
+            Consequence.UNMOUNTABLE,
+            (),
+            "2017",
+        ),
+        BugMechanism(
             "rename_dir_fsync_old_parent",
             flashfs,
             "Persisted file ends up in pre-rename directory",

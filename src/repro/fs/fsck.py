@@ -41,7 +41,11 @@ def check_device(device) -> FsckReport:
         superblock = layout.read_superblock(device)
     except CorruptionError as exc:
         return FsckReport(clean=False, errors=[str(exc)])
-    payload = layout.read_checkpoint(device, superblock)
+    try:
+        payload = layout.read_checkpoint(device, superblock)
+    except CorruptionError as exc:
+        errors.append(str(exc))
+        return FsckReport(clean=False, errors=errors)
     if payload is None:
         errors.append("checkpoint unreadable or torn")
         return FsckReport(clean=False, errors=errors)

@@ -22,11 +22,12 @@ data blocks and never embedded in the metadata JSON.
 from __future__ import annotations
 
 import json
+import re
 from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
 from ..errors import CorruptionError, FsNoSpaceError
-from ..storage.block import BLOCK_SIZE
+from ..storage.block import BLOCK_SIZE, SECTOR_SIZE
 
 SUPERBLOCK_MAGIC = "B3-REPRO-FS"
 CHECKPOINT_MAGIC = "B3-CKPT"
@@ -91,14 +92,18 @@ def _write_json_block(device, block: int, payload: dict, *, metadata: bool = Tru
         device.write_block(block, raw)
 
 
-def _read_json_block(device, block: int) -> Optional[dict]:
-    raw = device.read_block(block).rstrip(b"\x00")
+def _decode_json_bytes(raw: bytes) -> Optional[dict]:
+    raw = raw.rstrip(b"\x00")
     if not raw:
         return None
     try:
         return json.loads(raw.decode("utf-8"))
     except (UnicodeDecodeError, json.JSONDecodeError):
         return None
+
+
+def _read_json_block(device, block: int) -> Optional[dict]:
+    return _decode_json_bytes(device.read_block(block))
 
 
 # -- superblock -----------------------------------------------------------------
@@ -123,8 +128,11 @@ def read_superblock(device) -> Superblock:
 def _chunk_payload(payload: dict, magic: str, generation: int) -> List[dict]:
     """Serialize a payload into self-describing block-sized chunk envelopes."""
     raw = json.dumps(payload, sort_keys=True)
-    # Room for the per-block envelope.
-    chunk_size = BLOCK_SIZE - 256
+    # Room for the per-block envelope, halved because the payload slice is
+    # embedded as a JSON *string*: serializing the envelope escapes every
+    # quote and backslash in the slice (at worst doubling it), and a chunk
+    # that fits unescaped can otherwise overflow the block once escaped.
+    chunk_size = (BLOCK_SIZE - 256) // 2
     chunks = [raw[offset:offset + chunk_size] for offset in range(0, len(raw), chunk_size)] or [""]
     envelopes = []
     for index, chunk in enumerate(chunks):
@@ -169,6 +177,33 @@ def checkpoint_area_start(area: str) -> int:
     return CHECKPOINT_A_START if area == "A" else CHECKPOINT_B_START
 
 
+#: The chunk envelope is serialized with sorted keys, so ``generation``,
+#: ``index`` and ``magic`` always occupy the first bytes of the block — well
+#: inside the first (atomically-persisted) sector, before the payload.  This
+#: is what lets recovery validate a chunk's identity even when the payload
+#: tail of the block was torn by a mid-write power failure.
+_CHUNK_HEADER_RE = re.compile(
+    rb'^\{"generation": (\d+), "index": (\d+), "magic": "([^"]*)"'
+)
+
+
+def parse_chunk_header(raw: bytes) -> Optional[dict]:
+    """Parse a chunk envelope's identity fields from a block's first sector.
+
+    Returns ``{"generation", "index", "magic"}`` or ``None`` when the sector
+    does not start with a chunk envelope at all (stale content of an earlier
+    generation still parses — its header simply carries the old generation).
+    """
+    match = _CHUNK_HEADER_RE.match(raw[:SECTOR_SIZE])
+    if match is None:
+        return None
+    return {
+        "generation": int(match.group(1)),
+        "index": int(match.group(2)),
+        "magic": match.group(3).decode("utf-8", "replace"),
+    }
+
+
 def write_checkpoint(device, payload: dict, generation: int, area: str, *, tag: str = "checkpoint") -> int:
     """Write a checkpoint into the given area; returns the number of blocks used."""
     envelopes = _chunk_payload(payload, CHECKPOINT_MAGIC, generation)
@@ -184,14 +219,69 @@ def write_checkpoint(device, payload: dict, generation: int, area: str, *, tag: 
 
 
 def read_checkpoint(device, superblock: Superblock) -> Optional[dict]:
-    """Read the checkpoint named by the superblock; ``None`` if unreadable."""
+    """Read the checkpoint named by the superblock.
+
+    Distinguishes the two ways a checkpoint can be unreadable, because
+    recovery reacts differently to each:
+
+    * ``None`` — some chunk never reached the platter at all: its first
+      sector still holds stale content (an earlier generation's envelope, or
+      nothing).  The commit this superblock describes was incomplete;
+      recovery may fall back to the previous checkpoint.
+    * :class:`CorruptionError` — every chunk's header sector identifies it as
+      part of this checkpoint, but the payload does not reassemble: a write
+      was torn mid-block.  The checkpoint claims validity it does not have
+      (there is no checksum to catch the tear), so recovery fails.
+    """
     if superblock.checkpoint_blocks == 0:
         return None
     start = checkpoint_area_start(superblock.checkpoint_area)
-    raw_blocks = [
-        _read_json_block(device, start + offset) for offset in range(superblock.checkpoint_blocks)
-    ]
-    return _reassemble_chunks(raw_blocks, CHECKPOINT_MAGIC, superblock.generation)
+    # One device read per block: the header pre-check and the payload decode
+    # both work from the same raw bytes (re-reading would double the device's
+    # read accounting on every mount).
+    raw_blocks = []
+    for offset in range(superblock.checkpoint_blocks):
+        raw = device.read_block(start + offset)
+        header = parse_chunk_header(raw)
+        if (
+            header is None
+            or header["magic"] != CHECKPOINT_MAGIC
+            or header["generation"] != superblock.generation
+            or header["index"] != offset
+        ):
+            return None
+        raw_blocks.append(_decode_json_bytes(raw))
+    payload = _reassemble_chunks(raw_blocks, CHECKPOINT_MAGIC, superblock.generation)
+    if payload is None:
+        raise CorruptionError(
+            "checkpoint torn mid-block: chunk headers are valid but the payload "
+            "does not reassemble"
+        )
+    return payload
+
+
+def read_checkpoint_area(device, area: str, generation: int) -> Optional[Tuple[dict, int]]:
+    """Read a whole checkpoint of ``generation`` from ``area``, if one exists.
+
+    Used by fallback recovery, which has no superblock pointing at the area
+    and therefore discovers the chunk count from the first envelope.  Returns
+    ``(payload, blocks)`` or ``None``; a torn fallback checkpoint is also
+    ``None`` — there is nothing older to fall back to.
+    """
+    start = checkpoint_area_start(area)
+    first = _read_json_block(device, start)
+    if first is None or first.get("magic") != CHECKPOINT_MAGIC:
+        return None
+    if first.get("generation") != generation or first.get("index") != 0:
+        return None
+    total = int(first.get("total", 1))
+    if total < 1 or total > CHECKPOINT_AREA_BLOCKS:
+        return None
+    raw_blocks = [_read_json_block(device, start + offset) for offset in range(total)]
+    payload = _reassemble_chunks(raw_blocks, CHECKPOINT_MAGIC, generation)
+    if payload is None:
+        return None
+    return payload, total
 
 
 # -- log ---------------------------------------------------------------------------

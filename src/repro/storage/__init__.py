@@ -11,7 +11,16 @@ plus :class:`IORequest` records and the replay helpers that turn a recorded
 stream into a crash state.
 """
 
-from .block import BLOCK_SIZE, DEFAULT_DEVICE_BLOCKS, blocks_needed, pad_block, split_blocks
+from .block import (
+    BLOCK_SIZE,
+    DEFAULT_DEVICE_BLOCKS,
+    SECTOR_SIZE,
+    SECTORS_PER_BLOCK,
+    blocks_needed,
+    compose_torn_block,
+    pad_block,
+    split_blocks,
+)
 from .block_device import BlockDevice
 from .cow_device import CowDevice
 from .io_request import IOFlag, IOKind, IORequest, count_checkpoints, split_at_checkpoint
@@ -21,7 +30,10 @@ from .replay import replay_requests, replay_until_checkpoint
 __all__ = [
     "BLOCK_SIZE",
     "DEFAULT_DEVICE_BLOCKS",
+    "SECTOR_SIZE",
+    "SECTORS_PER_BLOCK",
     "blocks_needed",
+    "compose_torn_block",
     "pad_block",
     "split_blocks",
     "BlockDevice",

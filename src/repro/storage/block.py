@@ -1,12 +1,23 @@
 """Block-size constants and small helpers shared by the storage layer.
 
 The simulated devices use a fixed 4096-byte block, matching the page-sized
-I/O the paper's wrapper block device observes.
+I/O the paper's wrapper block device observes.  Underneath that block, real
+disks persist 512-byte *sectors*: a power failure can tear a block write in
+the middle, leaving the first few sectors of the new payload on the platter
+and the rest of the block at its prior content.  The sector constants and
+:func:`compose_torn_block` model exactly that failure mode for the ``torn``
+crash plan.
 """
 
 from __future__ import annotations
 
 BLOCK_SIZE = 4096
+
+#: Size of the atomically-persisted disk unit.  Writes of a whole block are
+#: *not* atomic on power failure; writes of a single sector are.
+SECTOR_SIZE = 512
+
+SECTORS_PER_BLOCK = BLOCK_SIZE // SECTOR_SIZE
 
 #: Default device size: 100 MiB, the "clean file-system image of size 100MB"
 #: that Table 3 lists as the initial state used by ACE.
@@ -26,6 +37,22 @@ def pad_block(data: bytes) -> bytes:
     if len(data) == BLOCK_SIZE:
         return bytes(data)
     return bytes(data) + bytes(BLOCK_SIZE - len(data))
+
+
+def compose_torn_block(new_data: bytes, prior: bytes, sectors_applied: int) -> bytes:
+    """Content of a block whose write was torn after ``sectors_applied`` sectors.
+
+    The first ``sectors_applied`` sectors come from the (padded) new payload,
+    the rest from the block's prior content — the state a mid-write power
+    failure leaves behind.  ``sectors_applied`` of 0 reproduces the prior
+    content and ``SECTORS_PER_BLOCK`` the fully-applied write.
+    """
+    if not 0 <= sectors_applied <= SECTORS_PER_BLOCK:
+        raise ValueError(
+            f"sectors_applied must be within [0, {SECTORS_PER_BLOCK}], got {sectors_applied}"
+        )
+    cut = sectors_applied * SECTOR_SIZE
+    return pad_block(new_data)[:cut] + pad_block(prior)[cut:]
 
 
 def split_blocks(data: bytes) -> list:

@@ -18,7 +18,7 @@ from __future__ import annotations
 from typing import Dict, FrozenSet, Iterator, Optional, Tuple
 
 from ..errors import InvalidBlockError
-from .block import BLOCK_SIZE, ZERO_BLOCK, pad_block
+from .block import BLOCK_SIZE, ZERO_BLOCK, compose_torn_block, pad_block
 from .block_device import BlockDevice
 
 #: When a snapshot's frozen chain grows past this many layers the next fork
@@ -82,6 +82,26 @@ class CowDevice:
         self.writes += 1
         self._overlay[block] = pad_block(data)
 
+    def write_sectors(self, block: int, data: bytes, sectors_applied: int) -> None:
+        """Apply only the first ``sectors_applied`` sectors of a block write.
+
+        Models a torn write: the remaining sectors keep the block's prior
+        visible content (overlay chain or base).  The composing read does not
+        count towards ``reads`` — no request reaches the device for the part
+        of the payload a crash never persisted.
+        """
+        self._check_block(block)
+        prior = self._overlay.get(block)
+        if prior is None:
+            for layer in reversed(self._chain):
+                if block in layer:
+                    prior = layer[block]
+                    break
+        if prior is None:
+            prior = self.base.read_block(block)
+        self.writes += 1
+        self._overlay[block] = compose_torn_block(data, prior, sectors_applied)
+
     def discard_block(self, block: int) -> None:
         """Make the block read as zero in this snapshot (without touching the base)."""
         self._check_block(block)
@@ -129,13 +149,16 @@ class CowDevice:
         return merged
 
     def materialize(self, name: Optional[str] = None) -> BlockDevice:
-        """Flatten base + overlays into an independent :class:`BlockDevice`."""
+        """Flatten base + overlays into an independent :class:`BlockDevice`.
+
+        An explicitly-written zero block is written through (not converted to
+        a discard): it is a block the snapshot modified, and dropping it would
+        make the flattened device's ``used_blocks()`` disagree with the
+        snapshot's own accounting.
+        """
         device = self.base.copy(name=name or f"{self.name}-flat")
         for block, data in self._merged_overlay().items():
-            if data == ZERO_BLOCK:
-                device.discard_block(block)
-            else:
-                device.write_block(block, data)
+            device.write_block(block, data)
         return device
 
     # -- accounting ------------------------------------------------------------

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 from typing import List, Sequence, Tuple
 
-from .block import BLOCK_SIZE
+from .block import BLOCK_SIZE, pad_block
 from .io_request import IOFlag, IOKind, IORequest
 
 
@@ -54,12 +54,15 @@ class RecordingDevice:
         if fua:
             flags = flags + (IOFlag.FUA,)
         self._seq += 1
+        # Record the (padded) payload directly: re-reading it back from the
+        # target would issue a spurious device read per recorded write,
+        # inflating the target's read accounting and doubling recorder work.
         self._log.append(
             IORequest(
                 seq=self._seq,
                 kind=IOKind.WRITE,
                 block=block,
-                data=self.target.read_block(block),
+                data=pad_block(data),
                 flags=flags,
                 tag=tag,
             )
@@ -122,10 +125,18 @@ class RecordingDevice:
         return self._checkpoints
 
     def writes_between_checkpoints(self) -> List[int]:
-        """Number of write requests in each inter-checkpoint interval.
+        """Number of write requests preceding each checkpoint marker.
 
-        Used by the resource-accounting benchmarks: it shows how much I/O each
-        persistence point generates.
+        Contract: exactly one count per checkpoint marker, in marker order —
+        ``counts[i]`` is the number of writes between marker ``i`` and its
+        predecessor (or the start of the log for the first marker).  Zero
+        counts are kept.  Writes after the last marker belong to no
+        persistence point (e.g. the paused unmount) and are never counted;
+        previously a *non-empty* tail was appended as a phantom interval
+        while an empty one was silently dropped.
+
+        Used by the resource-accounting benchmarks: it shows how much I/O
+        each persistence point generates.
         """
         counts: List[int] = []
         current = 0
@@ -135,8 +146,6 @@ class RecordingDevice:
                 current = 0
             elif request.is_write:
                 current += 1
-        if current:
-            counts.append(current)
         return counts
 
     def recorded_bytes(self) -> int:

@@ -25,12 +25,19 @@ from repro.crashmonkey import (
     CrashScenario,
     PrefixPlanner,
     ReorderPlanner,
+    TornWritePlanner,
     WorkloadRecorder,
     make_planner,
 )
 from repro.engine import HarnessSpec, run_campaign
 from repro.fs import BugConfig, Consequence
-from repro.storage import IOFlag, IOKind, IORequest, replay_until_checkpoint
+from repro.storage import (
+    SECTORS_PER_BLOCK,
+    IOFlag,
+    IOKind,
+    IORequest,
+    replay_until_checkpoint,
+)
 from repro.workload import parse_workload
 
 from conftest import SMALL_DEVICE_BLOCKS
@@ -40,8 +47,9 @@ from conftest import SMALL_DEVICE_BLOCKS
 BARRIER_BUG_WORKLOAD = "creat foo\nwrite foo 0 4096\nfsync foo"
 
 
-def _write(seq, block, *flags):
-    return IORequest(seq=seq, kind=IOKind.WRITE, block=block, data=b"x", flags=tuple(flags))
+def _write(seq, block, *flags, tag=""):
+    return IORequest(seq=seq, kind=IOKind.WRITE, block=block, data=b"x",
+                     flags=tuple(flags), tag=tag)
 
 
 def _profile(fs_name, text, bugs=None):
@@ -124,6 +132,85 @@ class TestReorderPlanner:
         assert planner.bound == 3
         with pytest.raises(ValueError):
             make_planner("chaos")
+
+
+class TestTornWritePlanner:
+    def test_is_a_strict_superset_of_the_reorder_plan(self):
+        window = [_write(1, 10), _write(2, 11)]
+        reorder = list(ReorderPlanner(bound=2).scenarios(1, window))
+        torn = list(TornWritePlanner(torn_bound=2, reorder_bound=2).scenarios(1, window))
+        assert torn[: len(reorder)] == [
+            CrashScenario(checkpoint_id=s.checkpoint_id, plan="torn",
+                          dropped_seqs=s.dropped_seqs, description=s.description)
+            for s in reorder
+        ]
+        assert len(torn) > len(reorder)
+
+    def test_tears_every_sector_cut_of_the_last_write_per_block(self):
+        window = [_write(1, 10), _write(2, 10)]
+        tears = [s.torn for s in TornWritePlanner(torn_bound=2).scenarios(1, window)
+                 if s.torn]
+        # Only the last write to the block is torn (tearing an earlier one is
+        # unobservable under the later one), once per interior sector cut.
+        assert tears == [((2, k),) for k in range(1, SECTORS_PER_BLOCK)]
+
+    def test_empty_window_yields_only_the_baseline(self):
+        scenarios = list(TornWritePlanner(torn_bound=2).scenarios(1, []))
+        assert len(scenarios) == 1 and scenarios[0].is_baseline
+
+    def test_fua_writes_are_never_torn(self):
+        window = [_write(1, 10, IOFlag.FUA)]
+        scenarios = list(TornWritePlanner(torn_bound=2).scenarios(1, window))
+        assert len(scenarios) == 1 and scenarios[0].is_baseline
+
+    def test_tear_budget_is_spent_on_commit_area_writes_first(self):
+        window = [
+            _write(1, 10, IOFlag.DATA, tag="data"),
+            _write(2, 11, IOFlag.METADATA, tag="inode"),
+            _write(3, 12, IOFlag.METADATA, tag="checkpoint"),
+        ]
+        torn_seqs = [s.torn[0][0]
+                     for s in TornWritePlanner(torn_bound=1).scenarios(1, window)
+                     if s.torn]
+        assert set(torn_seqs) == {3}
+        # With budget for two, the next pick is the remaining metadata write.
+        torn_seqs = {s.torn[0][0]
+                     for s in TornWritePlanner(torn_bound=2).scenarios(1, window)
+                     if s.torn}
+        assert torn_seqs == {3, 2}
+
+    def test_torn_bound_caps_distinct_torn_writes(self):
+        window = [_write(i, 10 + i) for i in range(1, 6)]
+        torn_seqs = {s.torn[0][0]
+                     for s in TornWritePlanner(torn_bound=2).scenarios(1, window)
+                     if s.torn}
+        assert len(torn_seqs) == 2
+
+    def test_scenario_ids_are_stable_and_distinct(self):
+        window = [_write(1, 10), _write(2, 11)]
+        ids = [s.scenario_id
+               for s in TornWritePlanner(torn_bound=2, reorder_bound=1).scenarios(1, window)]
+        assert ids[0] == "prefix"
+        assert len(ids) == len(set(ids))
+        assert any(s.startswith("torn[tear=") for s in ids)
+        assert any(s.startswith("torn[drop=") for s in ids)
+
+    def test_rejects_nonpositive_bounds(self):
+        with pytest.raises(ValueError):
+            TornWritePlanner(torn_bound=0)
+        with pytest.raises(ValueError):
+            TornWritePlanner(torn_bound=1, reorder_bound=0)
+
+    def test_make_planner_factory(self):
+        planner = make_planner("torn", reorder_bound=3, torn_bound=4)
+        assert isinstance(planner, TornWritePlanner)
+        assert planner.bound == 3
+        assert planner.torn_bound == 4
+
+    def test_torn_scenarios_pickle(self):
+        window = [_write(1, 10, tag="checkpoint")]
+        for scenario in TornWritePlanner(torn_bound=1).scenarios(1, window):
+            assert pickle.loads(pickle.dumps(scenario)) == scenario
 
 
 # --------------------------------------------------------------------------- parity
@@ -296,6 +383,122 @@ class TestReorderFindsWhatPrefixCannot:
         assert len(groups) == len({r.group_key() for r in reports})
 
 
+#: Workload hitting the flashfs/seqfs missing-flush-before-FUA mechanism: the
+#: checkpoint blocks stay in flight under the FUA superblock that commits them.
+FUA_BUG_WORKLOAD = "creat foo\nwrite foo 0 4096\nsync"
+
+
+class TestTornFindsWhatReorderCannot:
+    """The reference bug only sector-granular torn writes can reach.
+
+    A cleanly dropped checkpoint block still carries its old generation's
+    header: recovery detects the incomplete commit and safely falls back to
+    the previous checkpoint, rolling forward from the log.  Only a sector-torn
+    block — valid header sector, garbage payload tail — gets past the commit
+    record, so ``prefix`` and ``reorder`` provably cannot see the bug.
+    """
+
+    @pytest.mark.parametrize("fs_name", ["flashfs", "seqfs"])
+    def test_prefix_and_reorder_provably_miss_the_fua_bug(self, fs_name):
+        bugs = BugConfig.only("missing_flush_before_fua")
+        workload = parse_workload(FUA_BUG_WORKLOAD, name="fua-bug")
+        for plan in ("prefix", "reorder"):
+            result = CrashMonkey(fs_name, bugs=bugs, device_blocks=SMALL_DEVICE_BLOCKS,
+                                 crash_plan=plan, reorder_bound=2).test_workload(workload)
+            assert result.passed, f"{plan} must not see the FUA bug on {fs_name}"
+
+    @pytest.mark.parametrize("fs_name", ["flashfs", "seqfs"])
+    def test_torn_plan_detects_the_fua_bug(self, fs_name):
+        bugs = BugConfig.only("missing_flush_before_fua")
+        workload = parse_workload(FUA_BUG_WORKLOAD, name="fua-bug")
+        result = CrashMonkey(fs_name, bugs=bugs, device_blocks=SMALL_DEVICE_BLOCKS,
+                             crash_plan="torn", torn_bound=1).test_workload(workload)
+        assert not result.passed
+        consequences = {report.consequence for report in result.bug_reports}
+        assert Consequence.UNMOUNTABLE in consequences
+        for report in result.bug_reports:
+            assert report.scenario.startswith("torn[tear=")
+
+    @pytest.mark.parametrize("fs_name", ["flashfs", "seqfs"])
+    def test_patched_filesystem_passes_the_same_workload_under_torn(self, fs_name):
+        result = CrashMonkey(fs_name, bugs=BugConfig.none(), device_blocks=SMALL_DEVICE_BLOCKS,
+                             crash_plan="torn", torn_bound=2
+                             ).test_workload(parse_workload(FUA_BUG_WORKLOAD))
+        assert result.passed
+
+
+@pytest.mark.parametrize("fs_name", ["logfs", "seqfs", "flashfs", "verifs"])
+def test_patched_full_seq1_space_has_no_torn_false_positives(fs_name):
+    """Soundness: correct file systems produce zero torn-plan reports.
+
+    Runs the *full* seq-1 workload space — a correct commit protocol keeps
+    every commit-critical block behind a flush or FUA barrier, so the torn
+    planner finds nothing to tear and nothing to report.
+    """
+    harness = CrashMonkey(fs_name, bugs=BugConfig.none(),
+                          device_blocks=SMALL_DEVICE_BLOCKS,
+                          crash_plan="torn", reorder_bound=2, torn_bound=2)
+    tested = 0
+    for workload in AceSynthesizer(seq1_bounds()).stream():
+        result = harness.test_workload(workload)
+        assert result.passed, f"{fs_name}: {workload.display_name()}"
+        tested += 1
+    assert tested > 0
+
+
+# --------------------------------------------------------------------------- dedup
+
+
+#: Workload whose last two persistence points are no-ops (the buggy fdatasync
+#: skip path): identical stable fork, window, oracle, and tracker view.
+DEDUP_WORKLOAD = (
+    "creat foo\nwrite foo 0 8192\nfsync foo\n"
+    "falloc foo 8192 8192 keep_size\nfdatasync foo\nfdatasync foo"
+)
+
+
+class TestCrossCheckpointDedup:
+    def _run(self, dedup, crash_plan="torn"):
+        harness = CrashMonkey("seqfs", bugs=BugConfig.only("falloc_keep_size_fdatasync"),
+                              device_blocks=SMALL_DEVICE_BLOCKS,
+                              crash_plan=crash_plan, dedup_scenarios=dedup)
+        return harness.test_workload(parse_workload(DEDUP_WORKLOAD, name="dedup"))
+
+    def test_identical_checkpoints_are_constructed_once(self):
+        deduped = self._run(dedup=True)
+        full = self._run(dedup=False)
+        assert deduped.deduped_scenarios > 0
+        assert full.deduped_scenarios == 0
+        assert (deduped.scenarios_tested + deduped.deduped_scenarios
+                == full.scenarios_tested)
+
+    def test_dedup_does_not_double_count_bug_reports(self):
+        deduped = self._run(dedup=True)
+        full = self._run(dedup=False)
+        # Both find the bug, but without dedup the byte-identical repeat
+        # checkpoint re-reports it.
+        assert not deduped.passed and not full.passed
+        assert len(full.bug_reports) > len(deduped.bug_reports)
+        assert ({r.group_key() for r in full.bug_reports}
+                == {r.group_key() for r in deduped.bug_reports})
+
+    def test_dedup_never_skips_a_checkpoint_with_new_expectations(self):
+        # The falloc between fsync and the first fdatasync changes the oracle
+        # without any block I/O: the first fdatasync checkpoint shares the
+        # fsync checkpoint's fork and window but must still be checked.
+        result = self._run(dedup=True)
+        checked = {r.checkpoint_id for r in result.bug_reports}
+        assert 2 in checked, "the no-I/O checkpoint with new expectations must be checked"
+
+    def test_dedup_changes_no_outcome_across_plans(self):
+        for plan in ("prefix", "reorder", "torn"):
+            deduped = self._run(dedup=True, crash_plan=plan)
+            full = self._run(dedup=False, crash_plan=plan)
+            assert deduped.passed == full.passed
+            assert ({r.group_key() for r in deduped.bug_reports}
+                    == {r.group_key() for r in full.bug_reports})
+
+
 # --------------------------------------------------------------------------- timing split
 
 
@@ -367,3 +570,42 @@ class TestCrashPlanThroughTheEngine:
         assert campaign.spec.crash_plan == "reorder"
         assert campaign.spec.reorder_bound == 1
         assert campaign.harness.crash_plan == "reorder"
+
+    def test_torn_spec_pickles_and_rebuilds_the_planner(self):
+        spec = HarnessSpec(fs_name="f2fs", crash_plan="torn", reorder_bound=3,
+                           torn_bound=4, dedup_scenarios=False,
+                           device_blocks=SMALL_DEVICE_BLOCKS)
+        rebuilt = pickle.loads(pickle.dumps(spec)).build()
+        assert isinstance(rebuilt.planner, TornWritePlanner)
+        assert rebuilt.planner.bound == 3
+        assert rebuilt.planner.torn_bound == 4
+        assert rebuilt.dedup_scenarios is False
+
+    def test_pool_workers_rebuild_the_torn_planner(self):
+        spec = HarnessSpec(fs_name="f2fs", bugs=BugConfig.only("missing_flush_before_fua"),
+                           device_blocks=SMALL_DEVICE_BLOCKS,
+                           crash_plan="torn", torn_bound=1)
+        workloads = [parse_workload(FUA_BUG_WORKLOAD, name=f"wl-{i}") for i in range(6)]
+        serial = run_campaign(spec, iter(workloads), processes=1, chunk_size=2)
+        pooled = run_campaign(spec, iter(workloads), processes=2, chunk_size=2)
+
+        def findings(run):
+            return [
+                (r.checkpoint_id, r.consequence, r.scenario)
+                for result in run.result.results for r in result.bug_reports
+            ]
+
+        assert findings(serial) == findings(pooled)
+        assert findings(pooled), "torn findings must survive the pool boundary"
+        assert all(scenario.startswith("torn[tear=")
+                   for _, _, scenario in findings(pooled))
+
+    def test_campaign_config_threads_the_torn_plan(self):
+        config = CampaignConfig(fs_name="f2fs", bounds=seq1_bounds(), max_workloads=5,
+                                device_blocks=SMALL_DEVICE_BLOCKS,
+                                crash_plan="torn", torn_bound=3, dedup_scenarios=False)
+        campaign = B3Campaign(config)
+        assert campaign.spec.torn_bound == 3
+        assert campaign.spec.dedup_scenarios is False
+        assert isinstance(campaign.harness.planner, TornWritePlanner)
+        assert campaign.harness.planner.torn_bound == 3

@@ -262,13 +262,32 @@ MECHANISM_WORKLOADS = [
         fdatasync foo
         """,
     ),
+    (
+        "missing_flush_before_fua", "flashfs", """
+        creat foo
+        write foo 0 4096
+        sync
+        """,
+    ),
+    (
+        "missing_flush_before_fua", "seqfs", """
+        creat foo
+        write foo 0 4096
+        sync
+        """,
+    ),
 ]
 
 
 #: Mechanisms whose effect is invisible to ordered (prefix) replay: they need
-#: the reordering crash plan, which drops in-flight writes, to manifest.
+#: a crash plan that drops (reorder) or tears (torn) in-flight writes to
+#: manifest.  ``missing_flush_before_fua`` needs the torn plan specifically —
+#: a cleanly dropped checkpoint block is detected by its stale generation
+#: header and recovery safely falls back, so only a sector-torn block (valid
+#: header, garbage payload tail) gets past the commit-record check.
 REORDER_ONLY_MECHANISMS = {
     "fsync_no_flush": {"crash_plan": "reorder", "reorder_bound": 1},
+    "missing_flush_before_fua": {"crash_plan": "torn", "torn_bound": 1},
 }
 
 

@@ -158,3 +158,24 @@ def test_mkfs_produces_clean_empty_image(fs_name):
     fs = get_fs_class(fs_name)(device, BugConfig.none())
     fs.mount()
     assert fs.listdir("") == []
+
+
+@pytest.mark.parametrize("fs_name", ALL_FS)
+@pytest.mark.parametrize("bugs", [BugConfig.none(), None], ids=["patched", "buggy"])
+def test_sync_survives_an_exhausted_log_area(fs_name, bugs):
+    """A full log must never abort (or recurse into) the checkpoint commit.
+
+    The checkpoint is what frees the log, so sync() has to succeed even when
+    the log area has no room left for another entry — including the torn
+    plan's pre-commit journal entry on configurations that skip the flush
+    before the FUA superblock.
+    """
+    from repro.fs import layout
+
+    fs, recording, base = make_mounted_fs(fs_name, bugs)
+    fs.creat("foo")
+    fs.write("foo", 0, b"x" * BLOCK_SIZE)
+    fs.next_log_block = layout.LOG_START + 1024  # no room for any entry
+    fs.sync()                                    # must not raise or recurse
+    assert fs.next_log_block == layout.LOG_START
+    fs.unmount(safe=True)

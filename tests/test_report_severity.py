@@ -76,9 +76,12 @@ class TestBugReportPrimary:
         assert report.primary is None
         assert report.consequence == Consequence.CORRUPTION
 
-    def test_unknown_consequences_fall_back_to_corruption(self):
+    def test_unknown_consequences_are_surfaced_not_relabelled(self):
+        # A new consequence class must show up under its own name in grouping
+        # (it ranks last via Severity.rank_of), never silently as corruption.
         report = _report([_mismatch("made up")])
-        assert report.consequence == Consequence.CORRUPTION
+        assert report.consequence == "made up"
+        assert report.group_key() == (report.skeleton(), "made up")
 
     def test_known_consequence_outranks_unknown(self):
         known = _mismatch(Consequence.WRONG_SIZE)

@@ -5,8 +5,11 @@ import pytest
 from repro.storage.block import (
     BLOCK_SIZE,
     DEFAULT_DEVICE_BLOCKS,
+    SECTOR_SIZE,
+    SECTORS_PER_BLOCK,
     ZERO_BLOCK,
     blocks_needed,
+    compose_torn_block,
     pad_block,
     split_blocks,
 )
@@ -74,3 +77,34 @@ class TestBlocksNeeded:
 
 def test_default_device_is_100_mib():
     assert DEFAULT_DEVICE_BLOCKS * BLOCK_SIZE == 100 * 1024 * 1024
+
+
+class TestSectorModel:
+    def test_sector_constants_tile_the_block(self):
+        assert SECTOR_SIZE == 512
+        assert SECTORS_PER_BLOCK * SECTOR_SIZE == BLOCK_SIZE
+
+    def test_torn_block_mixes_new_head_with_prior_tail(self):
+        new = bytes([1]) * BLOCK_SIZE
+        prior = bytes([2]) * BLOCK_SIZE
+        for sectors in range(SECTORS_PER_BLOCK + 1):
+            torn = compose_torn_block(new, prior, sectors)
+            cut = sectors * SECTOR_SIZE
+            assert torn[:cut] == new[:cut]
+            assert torn[cut:] == prior[cut:]
+
+    def test_zero_sectors_reproduces_prior_and_full_applies_new(self):
+        new, prior = b"new payload", b"prior content"
+        assert compose_torn_block(new, prior, 0) == pad_block(prior)
+        assert compose_torn_block(new, prior, SECTORS_PER_BLOCK) == pad_block(new)
+
+    def test_short_payloads_are_padded_before_composition(self):
+        torn = compose_torn_block(b"n", b"", 1)
+        assert torn[:1] == b"n"
+        assert torn[1:] == bytes(BLOCK_SIZE - 1)
+
+    def test_out_of_range_sector_counts_are_rejected(self):
+        with pytest.raises(ValueError):
+            compose_torn_block(b"", b"", -1)
+        with pytest.raises(ValueError):
+            compose_torn_block(b"", b"", SECTORS_PER_BLOCK + 1)

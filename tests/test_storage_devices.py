@@ -129,6 +129,67 @@ class TestCowDevice:
         assert snap.read_block(2) == bytes(BLOCK_SIZE)
         assert base.read_block(2)[:4] == b"keep"
 
+    def test_materialize_keeps_an_explicitly_written_zero_block(self):
+        # A zero block the snapshot wrote is a modification, not an absence:
+        # converting it to a discard would make the flattened device's
+        # used_blocks() disagree with the snapshot's own accounting.
+        base = BlockDevice(8)
+        base.write_block(2, b"old")
+        snap = CowDevice(base)
+        snap.write_block(2, b"")       # explicit all-zeroes write
+        snap.write_block(3, b"")
+        flat = snap.materialize()
+        assert flat.read_block(2) == bytes(BLOCK_SIZE)
+        assert dict(flat.written_blocks()).keys() >= {2, 3}
+        assert flat.used_blocks() == snap.used_blocks()
+        assert snap.content_equal(flat)
+
+    def test_chain_compaction_preserves_contents_and_accounting(self):
+        from repro.storage.cow_device import CHAIN_COMPACT_THRESHOLD
+
+        base = BlockDevice(CHAIN_COMPACT_THRESHOLD + 16)
+        base.write_block(0, b"base")
+        snap = CowDevice(base)
+        expected = {}
+        # Each fork freezes one single-block layer; crossing the threshold
+        # must collapse the chain without changing the visible contents.
+        for i in range(CHAIN_COMPACT_THRESHOLD + 8):
+            payload = f"layer-{i}".encode()
+            snap.write_block(i % 8 + 1, payload)
+            expected[i % 8 + 1] = payload
+            snap = snap.snapshot(name=f"fork-{i}")
+        assert snap.overlay_layers() <= CHAIN_COMPACT_THRESHOLD + 1
+        assert snap.overlay_blocks() == len(expected)
+        for block, payload in expected.items():
+            assert snap.read_block(block)[: len(payload)] == payload
+        assert snap.read_block(0)[:4] == b"base"
+
+    def test_write_sectors_composes_with_the_visible_prior_content(self):
+        from repro.storage import SECTOR_SIZE
+
+        base = BlockDevice(8)
+        base.write_block(1, bytes([7]) * BLOCK_SIZE)
+        snap = CowDevice(base)
+        # Tear over base content.
+        snap.write_sectors(1, bytes([9]) * BLOCK_SIZE, 2)
+        torn = snap.read_block(1)
+        assert torn[: 2 * SECTOR_SIZE] == bytes([9]) * (2 * SECTOR_SIZE)
+        assert torn[2 * SECTOR_SIZE :] == bytes([7]) * (BLOCK_SIZE - 2 * SECTOR_SIZE)
+        # Tear over chain content (after a fork) and over the top overlay.
+        fork = snap.snapshot()
+        fork.write_sectors(1, bytes([5]) * BLOCK_SIZE, 1)
+        reread = fork.read_block(1)
+        assert reread[:SECTOR_SIZE] == bytes([5]) * SECTOR_SIZE
+        assert reread[SECTOR_SIZE : 2 * SECTOR_SIZE] == bytes([9]) * SECTOR_SIZE
+
+    def test_write_sectors_does_not_count_a_device_read(self):
+        base = BlockDevice(8)
+        snap = CowDevice(base)
+        before = snap.reads
+        snap.write_sectors(1, b"payload", 3)
+        assert snap.reads == before
+        assert snap.writes == 1
+
 
 class TestRecordingDevice:
     def _recorder(self):
@@ -174,6 +235,29 @@ class TestRecordingDevice:
         recorder.write_block(3, b"c")
         recorder.mark_checkpoint()
         assert recorder.writes_between_checkpoints() == [2, 1]
+
+    def test_writes_between_checkpoints_keeps_zero_intervals_and_drops_the_tail(self):
+        # Contract: one count per marker, in marker order; zero-write
+        # intervals are kept and writes after the last marker belong to no
+        # persistence point (they are never counted as a phantom interval).
+        recorder = self._recorder()
+        recorder.mark_checkpoint()                 # zero writes before marker 1
+        recorder.write_block(1, b"a")
+        recorder.mark_checkpoint()
+        recorder.mark_checkpoint()                 # zero writes between markers
+        recorder.write_block(2, b"b")              # trailing writes: no marker
+        assert recorder.writes_between_checkpoints() == [0, 1, 0]
+
+    def test_recorded_write_payload_is_captured_without_a_device_read(self):
+        recorder = self._recorder()
+        target_reads = recorder.target.reads
+        recorder.write_block(1, b"payload")
+        assert recorder.target.reads == target_reads, (
+            "recording a write must not issue a spurious read on the target"
+        )
+        request = recorder.log[0]
+        assert request.data == b"payload" + bytes(BLOCK_SIZE - 7)
+        assert recorder.read_block(1) == request.data
 
     def test_recorded_bytes(self):
         recorder = self._recorder()
