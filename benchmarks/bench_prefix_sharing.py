@@ -1,0 +1,149 @@
+"""Prefix-shared recording: recorded write work is sublinear in sibling count.
+
+ACE's B3 bound emits sibling families — workloads that differ only in their
+last operation or persistence point — so the recording phase re-runs the same
+mkfs + prefix operations over and over.  The prefix-shared recorder records
+each shared prefix once and forks O(1) snapshots per sibling, so the *fresh*
+recorded write requests (writes actually performed, rather than inherited
+from the cached prefix) grow with the divergent suffixes only.
+
+This benchmark measures a seq-2 ACE sibling family and asserts:
+
+* fresh recorded writes drop >= 2x with sharing enabled (the §6 recording
+  cost lever), with every sibling's io_log byte-for-byte identical,
+* fresh writes are sublinear in sibling count: the family's shared prefix is
+  paid once, not once per sibling,
+* cross-workload dedup on top skips the repeat crash states the shared
+  prefix re-reaches, with constructed + skipped == the full enumeration.
+
+Runs on tiny bounds so it doubles as the CI regression smoke next to the
+fig3 / crash-plan benchmarks.
+"""
+
+from itertools import islice
+
+from repro.ace import AceSynthesizer, group_siblings, seq2_bounds
+from repro.crashmonkey import CrashMonkey, WorkloadRecorder
+
+from conftest import BENCH_DEVICE_BLOCKS, print_table
+
+#: How many sibling families of the filtered seq-2 stream to scan for the
+#: measured family (the first sufficiently large one is used).
+FAMILY_SCAN_LIMIT = 60
+MIN_FAMILY_SIZE = 16
+
+
+def _seq2_family():
+    """A seq-2 ACE sibling family with a shared multi-op prefix.
+
+    Link workloads carry their whole dependency prefix (mkdir parents +
+    creat of the link source) plus the first core op in the shared part, so
+    they show the recording-phase sharing the tentpole targets.
+    """
+    stream = AceSynthesizer(seq2_bounds()).stream(required_ops=("link",))
+    for family in islice(group_siblings(stream), FAMILY_SCAN_LIMIT):
+        if len(family) >= MIN_FAMILY_SIZE:
+            return family
+    raise AssertionError("no seq-2 link family of the expected size found")
+
+
+def _record_family(family, share_prefixes):
+    recorder = WorkloadRecorder("logfs", device_blocks=BENCH_DEVICE_BLOCKS,
+                                share_prefixes=share_prefixes)
+    profiles = [recorder.profile(workload) for workload in family]
+    fresh = sum(profile.fresh_write_requests for profile in profiles)
+    return recorder, profiles, fresh
+
+
+def test_fresh_recorded_writes_drop_at_least_2x_for_a_seq2_family():
+    family = _seq2_family()
+    scratch_recorder, scratch_profiles, scratch_fresh = _record_family(family, False)
+    shared_recorder, shared_profiles, shared_fresh = _record_family(family, True)
+
+    # Parity first: sharing must never change what is recorded.
+    for shared, scratch in zip(shared_profiles, scratch_profiles):
+        assert shared.io_log == scratch.io_log, shared.workload.display_name()
+        assert shared.oracles == scratch.oracles
+        assert shared.tracker_views == scratch.tracker_views
+
+    reduction = scratch_fresh / max(shared_fresh, 1)
+    print_table(
+        "prefix-shared recording: seq-2 sibling family "
+        f"({len(family)} siblings, skeleton {family[0].skeleton()})",
+        [
+            ("recorded write requests (from scratch)", scratch_fresh),
+            ("fresh write requests (prefix-shared)", shared_fresh),
+            ("reduction", f"{reduction:.2f}x"),
+            ("prefix hits", f"{shared_recorder.prefix_hits}/{len(family)}"),
+            ("ops reused", shared_recorder.prefix_ops_reused),
+            ("recording seconds saved", f"{shared_recorder.prefix_seconds_saved:.3f}"),
+        ],
+        headers=("metric", "value"),
+    )
+    assert scratch_fresh == sum(
+        sum(1 for request in profile.io_log if request.is_write)
+        for profile in scratch_profiles
+    )
+    assert reduction >= 2.0, f"expected >= 2x, measured {reduction:.2f}x"
+    assert scratch_recorder.prefix_hits == 0
+
+
+def test_fresh_writes_are_sublinear_in_sibling_count():
+    """From-scratch write work is linear in siblings; shared work is not.
+
+    The signature of sublinearity: as the tested slice of the family grows,
+    the reduction factor (scratch writes / fresh writes) strictly improves —
+    the shared prefix is paid once however many siblings ride on it, while
+    from-scratch recording pays it per sibling.
+    """
+    family = _seq2_family()
+    rows, reductions = [], []
+    for count in (2, 4, 8, len(family)):
+        siblings = family[:count]
+        _, scratch_profiles, scratch_fresh = _record_family(siblings, False)
+        _, _, shared_fresh = _record_family(siblings, True)
+        reduction = scratch_fresh / max(shared_fresh, 1)
+        reductions.append(reduction)
+        rows.append((count, scratch_fresh, shared_fresh, f"{reduction:.2f}x"))
+    print_table(
+        "sublinearity: recorded write work vs sibling count",
+        rows, headers=("siblings", "scratch writes", "fresh writes", "reduction"),
+    )
+    assert reductions == sorted(reductions), "reduction must grow with family size"
+    assert reductions[-1] > reductions[0], "sharing must amortize across siblings"
+
+
+def test_cross_workload_dedup_skips_repeat_states_of_the_family():
+    family = _seq2_family()
+
+    def run(dedup):
+        harness = CrashMonkey("logfs", device_blocks=BENCH_DEVICE_BLOCKS,
+                              cross_workload_dedup=dedup)
+        return [harness.test_workload(workload) for workload in family], harness
+
+    full_results, _ = run(dedup=False)
+    deduped_results, harness = run(dedup=True)
+
+    constructed = sum(result.scenarios_tested for result in deduped_results)
+    skipped = sum(result.cross_deduped_scenarios for result in deduped_results)
+    enumerated = sum(result.scenarios_tested for result in full_results)
+    print_table(
+        "cross-workload dedup over the family",
+        [
+            ("scenarios enumerated", enumerated),
+            ("constructed with dedup", constructed),
+            ("skipped as repeats", skipped),
+            ("cache hit rate", f"{skipped / enumerated:.0%}"),
+        ],
+        headers=("metric", "value"),
+    )
+    assert constructed + skipped == enumerated, "dedup must account for every scenario"
+    assert skipped > 0, "a sibling family must re-reach shared crash states"
+    assert harness.cross_cache.hits == skipped
+    # Dedup drops only duplicate reports of byte-identical states: the set of
+    # distinct findings (Figure-5 group keys) is preserved.
+    full_groups = {report.group_key()
+                   for result in full_results for report in result.bug_reports}
+    deduped_groups = {report.group_key()
+                      for result in deduped_results for report in result.bug_reports}
+    assert deduped_groups == full_groups

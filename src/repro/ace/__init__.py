@@ -15,7 +15,7 @@ from .phase1 import count_skeletons, generate_skeletons
 from .phase2 import count_parameterizations, parameter_choices, parameterize
 from .phase3 import add_persistence_points, count_persistence_variants, persistence_choices
 from .phase4 import resolve_dependencies
-from .synthesizer import AceSynthesizer, GenerationStats, generate_workloads
+from .synthesizer import AceSynthesizer, GenerationStats, generate_workloads, group_siblings
 
 __all__ = [
     "Bounds",
@@ -39,5 +39,6 @@ __all__ = [
     "AceSynthesizer",
     "GenerationStats",
     "generate_workloads",
+    "group_siblings",
     "CrashMonkeyAdapter",
 ]

@@ -14,7 +14,7 @@ input for tools like dm-log-writes).  Here the adapter produces:
 
 from __future__ import annotations
 
-from typing import List
+from typing import Iterable, Iterator, List, Tuple
 
 from ..errors import WorkloadError
 from ..workload.language import format_workload
@@ -22,10 +22,22 @@ from ..workload.workload import Workload
 
 
 class CrashMonkeyAdapter:
-    """Converts ACE workloads into CrashMonkey test inputs."""
+    """Converts ACE workloads into CrashMonkey test inputs.
+
+    Workloads that fail validation are dropped, but never silently: the
+    adapter counts them in :attr:`invalid_workloads` and keeps each drop's
+    ``(display name, reason)`` in :attr:`dropped`, so campaigns can surface
+    how much of the generated space was actually tested
+    (``CampaignResult.invalid_workloads``).  A workload space that quietly
+    shrinks would otherwise masquerade as full B3 coverage.
+    """
 
     def __init__(self, fs_name: str = "btrfs"):
         self.fs_name = fs_name
+        #: workloads dropped because validation failed, over this adapter's life
+        self.invalid_workloads = 0
+        #: (display name, validation error) per dropped workload
+        self.dropped: List[Tuple[str, str]] = []
 
     def adapt(self, workload: Workload) -> Workload:
         """Validate and return the workload CrashMonkey should run."""
@@ -33,13 +45,17 @@ class CrashMonkeyAdapter:
         return workload
 
     def adapt_all(self, workloads) -> List[Workload]:
-        adapted = []
+        """Materialized :meth:`adapt_stream` (kept for convenience)."""
+        return list(self.adapt_stream(workloads))
+
+    def adapt_stream(self, workloads: Iterable[Workload]) -> Iterator[Workload]:
+        """Lazily validate a workload stream, counting (not hiding) drops."""
         for workload in workloads:
             try:
-                adapted.append(self.adapt(workload))
-            except WorkloadError:
-                continue
-        return adapted
+                yield self.adapt(workload)
+            except WorkloadError as exc:
+                self.invalid_workloads += 1
+                self.dropped.append((workload.display_name(), str(exc)))
 
     def to_test_program(self, workload: Workload) -> str:
         """Render a standalone test script (the C++ test-file equivalent)."""

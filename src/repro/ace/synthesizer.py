@@ -8,7 +8,7 @@ of the bounded workload space (paper §5.2, Figure 4).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterator, List, Optional, Sequence
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence
 
 from ..workload.workload import Workload
 from .bounds import Bounds
@@ -117,10 +117,31 @@ class AceSynthesizer:
         bounded space — exhaustive, prefix-capped (``limit``) or spread over
         the space (``limit`` + ``sample``) — that is pulled chunk by chunk,
         never materialized.
+
+        The stream is *prefix ordered*: generation is a depth-first walk of
+        (skeleton, parameterization, persistence placement), so workloads
+        sharing an operation prefix — ACE sibling families — come out
+        consecutively.  The prefix-shared recorder and the engine's
+        prefix-affine chunking both rely on exactly this adjacency.
         """
         if limit is not None and sample:
             return self.sample_stream(limit, required_ops=required_ops)
         return self.generate(required_ops=required_ops, limit=limit)
+
+    def sibling_groups(self, limit: Optional[int] = None,
+                       required_ops: Optional[Sequence[str]] = None
+                       ) -> Iterator[List[Workload]]:
+        """Lazily group the generated stream into ACE sibling families.
+
+        A family is a maximal run of consecutive workloads with equal
+        :meth:`Workload.family_key` — identical core and dependency
+        operations, differing only in persistence-point placement.  These are
+        the workloads whose shared prefixes the prefix-shared recorder
+        records once.  Grouping is a streaming pass over :meth:`stream`
+        (depth-first order makes families consecutive), so only one family
+        is materialized at a time.
+        """
+        return group_siblings(self.stream(limit=limit, required_ops=required_ops))
 
     # ------------------------------------------------------------------ counting
 
@@ -167,6 +188,21 @@ class AceSynthesizer:
             "phase2_parameterized": parameterized,
             "phase3_with_persistence": with_persistence,
         }
+
+
+def group_siblings(workloads: Iterable[Workload]) -> Iterator[List[Workload]]:
+    """Group a workload stream into maximal runs of equal ``family_key``."""
+    group: List[Workload] = []
+    group_key: Optional[str] = None
+    for workload in workloads:
+        key = workload.family_key()
+        if group and key != group_key:
+            yield group
+            group = []
+        group.append(workload)
+        group_key = key
+    if group:
+        yield group
 
 
 def generate_workloads(bounds: Bounds, limit: Optional[int] = None) -> List[Workload]:

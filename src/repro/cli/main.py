@@ -88,6 +88,22 @@ def _print_check_registry() -> int:
     return 0
 
 
+def _add_recording_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--share-prefixes", dest="share_prefixes", action="store_true",
+                        default=None,
+                        help="record shared ACE-sibling operation prefixes once and "
+                             "resume each sibling from an O(1) snapshot fork "
+                             "(default; profiles are byte-for-byte identical either way)")
+    parser.add_argument("--no-share-prefixes", dest="share_prefixes", action="store_false",
+                        help="record every workload from scratch (mkfs + full prefix "
+                             "re-run per workload)")
+    parser.add_argument("--cross-workload-dedup", action="store_true", default=False,
+                        help="skip crash states already tested by an earlier workload "
+                             "with byte-identical state and expectations (identical "
+                             "recurring states across ACE siblings are counted once; "
+                             "raw report counts drop accordingly)")
+
+
 def _add_crash_plan_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--crash-plan", choices=list(PLAN_NAMES), default="prefix",
                         help="crash scenarios per persistence point: 'prefix' tests the "
@@ -154,7 +170,9 @@ def cmd_test(args) -> int:
     harness = CrashMonkey(args.filesystem, bugs=_bugs_from_args(args),
                           checks=args.checks, skip_checks=args.skip_checks or (),
                           crash_plan=args.crash_plan, reorder_bound=args.reorder_bound,
-                          torn_bound=args.torn_bound)
+                          torn_bound=args.torn_bound,
+                          share_prefixes=args.share_prefixes,
+                          cross_workload_dedup=args.cross_workload_dedup)
     result = harness.test_workload(workload)
     print(result.summary())
     for report in result.bug_reports:
@@ -176,6 +194,8 @@ def cmd_campaign(args) -> int:
         crash_plan=args.crash_plan,
         reorder_bound=args.reorder_bound,
         torn_bound=args.torn_bound,
+        share_prefixes=args.share_prefixes,
+        cross_workload_dedup=args.cross_workload_dedup,
         processes=args.processes,
         chunk_size=args.chunk_size,
     )
@@ -190,6 +210,8 @@ def cmd_campaign(args) -> int:
 
     campaign = B3Campaign(config)
     result = campaign.run(progress=show_progress if args.progress else None)
+    # describe() already includes the recording/dedup summary line whenever
+    # prefix sharing or cross-workload dedup actually did something.
     print(result.describe())
     if campaign.last_run is not None:
         backend = "serial" if config.processes <= 1 else f"{config.processes}-process pool"
@@ -245,6 +267,7 @@ def build_parser() -> argparse.ArgumentParser:
     test.add_argument("--filesystem", "-f", default="btrfs", choices=_fs_choices())
     test.add_argument("--patched", action="store_true", help="test the patched (bug-free) file system")
     _add_crash_plan_args(test)
+    _add_recording_args(test)
     _add_check_selection_args(test)
 
     campaign = sub.add_parser("campaign", help="generate and test a bounded workload space")
@@ -262,6 +285,7 @@ def build_parser() -> argparse.ArgumentParser:
     campaign.add_argument("--progress", action="store_true",
                           help="print a progress line per completed chunk")
     _add_crash_plan_args(campaign)
+    _add_recording_args(campaign)
     _add_check_selection_args(campaign)
 
     reproduce = sub.add_parser("reproduce", help="replay a bug from the known-bug database")

@@ -17,6 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterable, Iterator, List, Optional, Sequence
 
+from ..ace.adapter import CrashMonkeyAdapter
 from ..ace.bounds import Bounds, seq1_bounds, seq2_bounds
 from ..ace.synthesizer import AceSynthesizer
 from ..crashmonkey.harness import CrashMonkey
@@ -54,6 +55,15 @@ class CampaignConfig:
     torn_bound: int = 2
     #: skip crash states at checkpoints that provably repeat an earlier one
     dedup_scenarios: bool = True
+    #: record shared ACE-sibling operation prefixes once per worker and chunk
+    #: prefix-affinely (profiles stay byte-for-byte identical either way);
+    #: None follows the recorder's default (on, unless REPRO_NO_SHARE_PREFIXES
+    #: is set in the environment)
+    share_prefixes: Optional[bool] = None
+    #: skip crash states already tested by an earlier workload on the same
+    #: worker (byte-identical states + expectations); identical recurring
+    #: states are counted once, so raw report counts drop accordingly
+    cross_workload_dedup: bool = False
     #: worker processes; 1 = serial in-process, >1 = process-pool backend
     processes: int = 1
     #: workloads per dispatched chunk (None = engine default)
@@ -79,6 +89,8 @@ class B3Campaign:
             reorder_bound=config.reorder_bound,
             torn_bound=config.torn_bound,
             dedup_scenarios=config.dedup_scenarios,
+            share_prefixes=config.share_prefixes,
+            cross_workload_dedup=config.cross_workload_dedup,
         )
         self._harness: Optional[CrashMonkey] = None
         #: engine bookkeeping of the most recent :meth:`run` (chunk stats, wall clock)
@@ -126,10 +138,18 @@ class B3Campaign:
 
     def run(self, workloads: Optional[Iterable[Workload]] = None,
             progress: Optional[ProgressCallback] = None) -> CampaignResult:
-        """Run the campaign; workloads are streamed from ACE unless supplied."""
+        """Run the campaign; workloads are streamed from ACE unless supplied.
+
+        Every workload flows through the CrashMonkey adapter first: invalid
+        ones are dropped from testing but surfaced in the result's
+        ``invalid_workloads`` count (never silently swallowed), which also
+        keeps a bad hand-supplied workload from aborting the whole run.
+        """
         source = workloads if workloads is not None else self.iter_workloads()
+        adapter = CrashMonkeyAdapter(self.fs_name)
         label = self.bounds.label or f"seq-{self.bounds.seq_length}"
-        run = self._engine(progress).run(source, label=label)
+        run = self._engine(progress).run(adapter.adapt_stream(source), label=label)
+        run.result.invalid_workloads = adapter.invalid_workloads
         self.last_run = run
         return run.result
 

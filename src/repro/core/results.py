@@ -27,6 +27,9 @@ class CampaignResult:
     results: List[CrashTestResult] = field(default_factory=list)
     generation_seconds: float = 0.0
     testing_seconds: float = 0.0
+    #: generated workloads dropped by the adapter because validation failed
+    #: (surfaced, never silently swallowed: tested + invalid = generated)
+    invalid_workloads: int = 0
 
     # -- incremental aggregation -------------------------------------------------
 
@@ -51,6 +54,41 @@ class CampaignResult:
     @property
     def failing_workloads(self) -> int:
         return sum(1 for result in self.results if not result.passed)
+
+    # -- prefix-shared recording / dedup accounting -------------------------------
+
+    @property
+    def prefix_hits(self) -> int:
+        """Workloads whose profile resumed from a worker's prefix cache."""
+        return sum(1 for result in self.results if result.prefix_shared)
+
+    @property
+    def prefix_ops_reused(self) -> int:
+        """Operations inherited from shared prefixes instead of re-executed."""
+        return sum(result.prefix_ops_reused for result in self.results)
+
+    @property
+    def prefix_writes_reused(self) -> int:
+        """Write requests inherited from shared prefixes across the campaign."""
+        return sum(result.prefix_writes_reused for result in self.results)
+
+    @property
+    def deduped_scenarios(self) -> int:
+        """Scenarios skipped by within-workload cross-checkpoint dedup."""
+        return sum(result.deduped_scenarios for result in self.results)
+
+    @property
+    def cross_deduped_scenarios(self) -> int:
+        """Scenarios skipped because an earlier workload already tested them."""
+        return sum(result.cross_deduped_scenarios for result in self.results)
+
+    def recording_seconds_saved(self) -> float:
+        """Recording-phase seconds prefix sharing avoided (summed over workers).
+
+        Like :meth:`phase_seconds` this is CPU time summed across workers,
+        not wall clock.
+        """
+        return sum(result.prefix_seconds_saved for result in self.results)
 
     def all_reports(self) -> List[BugReport]:
         reports: List[BugReport] = []
@@ -105,16 +143,32 @@ class CampaignResult:
 
     def summary(self) -> str:
         groups = self.grouped_reports()
+        invalid = (f" (+{self.invalid_workloads} invalid dropped)"
+                   if self.invalid_workloads else "")
         return (
             f"campaign {self.label or '-'} on {self.fs_model}: "
-            f"{self.workloads_tested} workloads, {self.crash_points_tested} crash points, "
+            f"{self.workloads_tested} workloads{invalid}, "
+            f"{self.crash_points_tested} crash points, "
             f"{self.failing_workloads} failing workloads, {len(self.all_reports())} raw reports, "
             f"{len(groups)} report groups, "
             f"{self.generation_seconds:.2f}s generation + {self.testing_seconds:.2f}s testing"
         )
 
+    def recording_summary(self) -> str:
+        """One line of prefix-sharing / dedup accounting for this campaign."""
+        return (
+            f"recording: {self.prefix_hits}/{self.workloads_tested} prefix hits, "
+            f"{self.prefix_ops_reused} ops and {self.prefix_writes_reused} writes reused, "
+            f"{self.recording_seconds_saved():.2f}s saved; "
+            f"dedup: {self.deduped_scenarios} within-workload + "
+            f"{self.cross_deduped_scenarios} cross-workload scenarios skipped"
+        )
+
     def describe(self) -> str:
-        lines = [self.summary(), "report groups:"]
+        lines = [self.summary()]
+        if self.prefix_hits or self.cross_deduped_scenarios:
+            lines.append(self.recording_summary())
+        lines.append("report groups:")
         for group in self.grouped_reports():
             lines.append("  " + group.describe())
         return "\n".join(lines)

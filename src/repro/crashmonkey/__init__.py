@@ -13,6 +13,7 @@ from .crashplan import (
     PLAN_NAMES,
     CrashPlanner,
     CrashScenario,
+    CrossWorkloadCache,
     PrefixPlanner,
     ReorderPlanner,
     TornWritePlanner,
@@ -42,6 +43,7 @@ __all__ = [
     "CrashStateGenerator",
     "CrashPlanner",
     "CrashScenario",
+    "CrossWorkloadCache",
     "PrefixPlanner",
     "ReorderPlanner",
     "TornWritePlanner",

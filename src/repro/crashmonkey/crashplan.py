@@ -38,7 +38,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from itertools import combinations, product
-from typing import Dict, Iterator, List, Sequence, Tuple
+from typing import Dict, Iterator, List, Sequence, Set, Tuple
 
 from ..storage.block import SECTORS_PER_BLOCK
 from ..storage.io_request import IORequest
@@ -258,6 +258,54 @@ class TornWritePlanner(ReorderPlanner):
 
         candidates.sort(key=priority)
         return candidates[: self.torn_bound]
+
+
+# --------------------------------------------------------------------------- dedup
+
+
+class CrossWorkloadCache:
+    """Remembers which (crash states, expectations) pairs were already tested.
+
+    ACE sibling workloads share operation prefixes, so the same persistence
+    point — same reachable crash states *and* same oracle/tracker
+    expectations — recurs across many workloads of a campaign.  The cache
+    keys each checkpoint by content (a digest of the recorded stream up to
+    the marker plus digests of the oracle and the normalized tracker view,
+    computed by :class:`~repro.crashmonkey.replayer.CrashStateGenerator`);
+    a checkpoint whose key was already sighted is provably a byte-identical
+    re-test and is skipped instead of re-constructed, re-mounted and
+    re-checked.
+
+    The cache is sound per harness: one fixed file system, bug config,
+    device size and planner (all of which the key's stream digest is scoped
+    to).  It is an *accounting* choice, not a correctness one — a skipped
+    checkpoint's states were already checked, under identical expectations,
+    when its key was first sighted — but raw bug reports are counted
+    once per distinct crash state rather than once per sibling, which is
+    exactly the "dedup across workloads" the paper's report post-processing
+    approximates after the fact.
+    """
+
+    def __init__(self, max_entries: int = 1_000_000):
+        #: cap on remembered keys; once full, new keys are tested but not
+        #: remembered (the cache degrades to fewer hits, never to unsoundness)
+        self.max_entries = max_entries
+        self._seen: Set[Tuple] = set()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._seen)
+
+    def first_sighting(self, key: Tuple) -> bool:
+        """Register ``key``; True when it was never tested before (test it)."""
+        if key in self._seen:
+            self.hits += 1
+            return False
+        self.misses += 1
+        if len(self._seen) < self.max_entries:
+            self._seen.add(key)
+        return True
 
 
 #: Registered plan names → planner factories.  ``reorder_bound`` and

@@ -24,7 +24,7 @@ from ..fs.registry import models, resolve_fs_name
 from ..storage.block import DEFAULT_DEVICE_BLOCKS
 from ..workload.workload import Workload
 from .checker import CheckPipeline
-from .crashplan import make_planner
+from .crashplan import CrossWorkloadCache, make_planner
 from .recorder import WorkloadProfile, WorkloadRecorder
 from .replayer import CrashStateGenerator
 from .report import BugReport, CrashTestResult
@@ -43,6 +43,8 @@ class CrashMonkey:
                  reorder_bound: int = 2,
                  torn_bound: int = 2,
                  dedup_scenarios: bool = True,
+                 share_prefixes: Optional[bool] = None,
+                 cross_workload_dedup: bool = False,
                  kernel_version: str = "4.16"):
         """
         Args:
@@ -71,6 +73,18 @@ class CrashMonkey:
                 checkpoint that provably repeats an earlier one (same stable
                 fork, window, and expectations — recurs whenever no flush or
                 write intervenes between persistence points).
+            share_prefixes: record shared ACE-sibling operation prefixes once
+                and resume each sibling's profile from an O(1) snapshot fork
+                (profiles stay byte-for-byte identical to from-scratch
+                recording; this only changes how fast they are produced).
+                ``None`` follows the recorder's default (on, unless the
+                ``REPRO_NO_SHARE_PREFIXES`` environment variable is set).
+            cross_workload_dedup: additionally skip crash states at
+                checkpoints whose states *and* expectations are byte-identical
+                to ones already tested by an earlier workload of this
+                harness's lifetime (ACE siblings re-reaching the shared
+                prefix's persistence points).  Identical recurring states are
+                then counted once — raw report counts drop accordingly.
             kernel_version: label attached to bug reports.
         """
         self.fs_name = resolve_fs_name(fs_name)
@@ -81,11 +95,18 @@ class CrashMonkey:
         self.reorder_bound = reorder_bound
         self.torn_bound = torn_bound
         self.dedup_scenarios = dedup_scenarios
+        self.cross_workload_dedup = cross_workload_dedup
         # Planners are stateless, so one instance serves every workload (and
         # building it here fails fast on a bad plan name or bound).
         self.planner = make_planner(crash_plan, reorder_bound, torn_bound)
         self.kernel_version = kernel_version
-        self.recorder = WorkloadRecorder(self.fs_name, self.bugs, device_blocks=device_blocks)
+        self.recorder = WorkloadRecorder(self.fs_name, self.bugs, device_blocks=device_blocks,
+                                         share_prefixes=share_prefixes)
+        #: resolved value (the recorder applies the None -> default rule)
+        self.share_prefixes = self.recorder.share_prefixes
+        #: harness-lifetime cache of (crash states, expectations) keys; one
+        #: fixed fs/bugs/planner per harness keeps its sightings sound
+        self.cross_cache = CrossWorkloadCache() if cross_workload_dedup else None
         self.checker = CheckPipeline(checks=checks, skip_checks=skip_checks,
                                      run_write_checks=run_write_checks)
 
@@ -109,13 +130,18 @@ class CrashMonkey:
         result.recorded_bytes = profile.recorded_bytes
         result.executed_ops = profile.executed_ops
         result.skipped_ops = profile.skipped_ops
+        result.prefix_shared = profile.prefix_shared
+        result.prefix_ops_reused = profile.prefix_ops_reused
+        result.prefix_writes_reused = profile.prefix_writes_reused
+        result.prefix_seconds_saved = profile.prefix_seconds_saved
 
         checkpoints = profile.checkpoints()
         if self.only_last_checkpoint and checkpoints:
             checkpoints = [checkpoints[-1]]
 
         generator = CrashStateGenerator(profile, planner=self.planner,
-                                        dedup_scenarios=self.dedup_scenarios)
+                                        dedup_scenarios=self.dedup_scenarios,
+                                        cross_cache=self.cross_cache)
         result.checkpoints_tested = len(checkpoints)
         for crash_state in generator.generate_scenarios(checkpoints):
             result.replay_seconds += crash_state.replay_seconds
@@ -150,6 +176,7 @@ class CrashMonkey:
         result.replay_seconds += generator.build_seconds
         result.replayed_write_requests = generator.replayed_write_requests
         result.deduped_scenarios = generator.deduped_scenarios
+        result.cross_deduped_scenarios = generator.cross_deduped_scenarios
         return result
 
     def test_stream(self, workloads) -> "Iterator[CrashTestResult]":

@@ -22,6 +22,7 @@ plan additionally explores crashes that lose bounded subsets of the in-flight
 
 from __future__ import annotations
 
+import hashlib
 import time
 from dataclasses import dataclass, replace
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
@@ -31,7 +32,8 @@ from ..fs import fsck
 from ..fs.registry import get_fs_class
 from ..storage.cow_device import CowDevice
 from ..storage.io_request import IORequest
-from .crashplan import CrashPlanner, CrashScenario, PrefixPlanner
+from .crashplan import CrashPlanner, CrashScenario, CrossWorkloadCache, PrefixPlanner
+from .oracle import Oracle
 from .recorder import WorkloadProfile
 from .tracker import TrackerView
 
@@ -86,6 +88,12 @@ class _CheckpointRecord:
     stable: CowDevice
     #: writes issued after that barrier, in issue order (FUA included)
     window: Tuple[IORequest, ...]
+    #: running digest of the recorded stream up to the marker (writes and
+    #: flushes; markers excluded — they do not change the storage state).
+    #: Together with the fixed base image this identifies every crash state
+    #: any planner can reach at this checkpoint.  None when no cross-workload
+    #: cache is attached (the digest is only needed for its keys).
+    state_digest: Optional[str] = None
 
 
 def _normalized_tracker_view(view: TrackerView) -> Tuple:
@@ -95,12 +103,46 @@ def _normalized_tracker_view(view: TrackerView) -> Tuple:
     return (files, dirs, view.renames)
 
 
+def _oracle_digest(oracle: Optional[Oracle]) -> str:
+    """Stable content digest of an oracle's expected file-system state."""
+    if oracle is None:
+        return "no-oracle"
+    canonical = repr(sorted(oracle.state.items()))
+    return hashlib.sha1(canonical.encode("utf-8")).hexdigest()
+
+
+def _tracker_view_digest(view: Optional[TrackerView]) -> str:
+    """Stable content digest of a normalized tracker view.
+
+    Set-valued fields are sorted into tuples first: two views that compare
+    equal must digest identically regardless of set iteration order.
+    """
+    if view is None:
+        return "no-view"
+    files = tuple(
+        (
+            ino, f.ftype, tuple(sorted(f.persisted_paths)), f.expected_data,
+            f.size, f.nlink, f.allocated_blocks, tuple(f.xattrs),
+            f.symlink_target, f.datasync_only,
+        )
+        for ino, f in sorted(view.files.items())
+    )
+    dirs = tuple(
+        (ino, d.path, tuple(sorted(d.children.items())), tuple(d.xattrs))
+        for ino, d in sorted(view.dirs.items())
+    )
+    renames = tuple((r.src, r.dst, r.ino, r.op_index) for r in view.renames)
+    canonical = repr((files, dirs, renames))
+    return hashlib.sha1(canonical.encode("utf-8")).hexdigest()
+
+
 class CrashStateGenerator:
     """Builds and mounts crash states from a workload profile."""
 
     def __init__(self, profile: WorkloadProfile, run_fsck_on_failure: bool = True,
                  planner: Optional[CrashPlanner] = None,
-                 dedup_scenarios: bool = True):
+                 dedup_scenarios: bool = True,
+                 cross_cache: Optional[CrossWorkloadCache] = None):
         self.profile = profile
         self.fs_class = get_fs_class(profile.fs_name)
         self.run_fsck_on_failure = run_fsck_on_failure
@@ -108,6 +150,10 @@ class CrashStateGenerator:
         #: skip constructing/checking a checkpoint's scenarios when an earlier
         #: checkpoint provably yields the same states and expectations
         self.dedup_scenarios = dedup_scenarios
+        #: campaign-lifetime cache skipping checkpoints whose crash states and
+        #: expectations were already tested by an *earlier workload* (ACE
+        #: siblings sharing a prefix re-reach the same persistence points)
+        self.cross_cache = cross_cache
         #: write requests applied to devices so far (one per recorded write
         #: for the single cursor pass, plus the re-applied window writes of
         #: each non-baseline scenario)
@@ -116,6 +162,9 @@ class CrashStateGenerator:
         #: constructed, mounted and checked a state identical to one already
         #: tested — and double-counted its bug reports)
         self.deduped_scenarios = 0
+        #: scenarios skipped because an earlier *workload* already tested the
+        #: byte-identical crash states against identical expectations
+        self.cross_deduped_scenarios = 0
         #: wall-clock seconds of the one-pass incremental build
         self.build_seconds = 0.0
         self._records: Optional[Dict[int, _CheckpointRecord]] = None
@@ -131,6 +180,12 @@ class CrashStateGenerator:
         cursor = CowDevice(self.profile.base_image, name="replay-cursor")
         stable = cursor.snapshot(name="replay-stable")
         window: List[IORequest] = []
+        # Running digest over the storage-changing stream (cross-workload
+        # dedup keys); checkpoint markers are skipped so the flush-free repeat
+        # of a persistence point digests identically to its twin.
+        hasher = hashlib.sha1(
+            f"{self.profile.fs_name}:{self.profile.base_image.num_blocks}:".encode("ascii")
+        ) if self.cross_cache is not None else None
         for request in self.profile.io_log:
             if request.is_write:
                 if request.block is None or request.data is None:
@@ -140,17 +195,24 @@ class CrashStateGenerator:
                 cursor.write_block(request.block, request.data)
                 self.replayed_write_requests += 1
                 window.append(request)
+                if hasher is not None:
+                    flags = ",".join(flag.value for flag in request.flags)
+                    hasher.update(f"w:{request.block}:{flags}:{request.tag}:".encode("utf-8"))
+                    hasher.update(request.data)
             elif request.is_flush:
                 # Everything before the barrier is durable: fork the stable
                 # state and start a fresh in-flight window.
                 stable = cursor.snapshot(name="replay-stable")
                 window = []
+                if hasher is not None:
+                    hasher.update(b"f:")
             elif request.is_checkpoint and request.checkpoint_id is not None:
                 records[request.checkpoint_id] = _CheckpointRecord(
                     checkpoint_id=request.checkpoint_id,
                     baseline=cursor.snapshot(name=f"crash-{request.checkpoint_id}"),
                     stable=stable,
                     window=tuple(window),
+                    state_digest=hasher.hexdigest() if hasher is not None else None,
                 )
         self._records = records
         self.build_seconds = time.perf_counter() - start
@@ -245,6 +307,16 @@ class CrashStateGenerator:
         tracker expectations also match, re-mounting and re-checking it can
         only double-count the same bug reports.  Skipped scenarios are
         counted in :attr:`deduped_scenarios`.
+
+        With a :class:`CrossWorkloadCache` attached, the same argument is
+        applied *across workloads*: a checkpoint whose recorded stream prefix
+        (hence every reachable crash state), oracle and tracker view all
+        digest-match one tested by an earlier workload — an ACE sibling
+        sharing the prefix — is skipped and counted in
+        :attr:`cross_deduped_scenarios`.  A sibling whose divergent suffix
+        adds new expectations necessarily changes the digest of its *later*
+        checkpoints (new operations mean new recorded writes or a new oracle),
+        so only byte-identical re-tests are ever skipped.
         """
         if checkpoint_ids is None:
             checkpoint_ids = self.profile.checkpoints()
@@ -263,8 +335,25 @@ class CrashStateGenerator:
                 # expectations drift monotonically with the workload, so the
                 # nearest earlier twin is the one a later repeat can match.
                 tested[key] = checkpoint_id
+            if self.cross_cache is not None and not self._first_cross_sighting(
+                record, checkpoint_id
+            ):
+                self.cross_deduped_scenarios += sum(
+                    1 for _ in self.planner.scenarios(checkpoint_id, record.window)
+                )
+                continue
             for scenario in self.planner.scenarios(checkpoint_id, record.window):
                 yield self._construct(record, scenario)
+
+    def _first_cross_sighting(self, record: _CheckpointRecord,
+                              checkpoint_id: int) -> bool:
+        """Register this checkpoint's content key; False when already tested."""
+        key = (
+            record.state_digest,
+            _oracle_digest(self.profile.oracles.get(checkpoint_id)),
+            _tracker_view_digest(self.profile.tracker_views.get(checkpoint_id)),
+        )
+        return self.cross_cache.first_sighting(key)
 
     def _checkpoints_equivalent(self, tested_id: int, candidate_id: int) -> bool:
         """Whether checking ``candidate_id`` could find anything new.

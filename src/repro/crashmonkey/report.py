@@ -212,6 +212,12 @@ class CrashTestResult:
     #: dedup on flush-free windows); scenarios_tested + deduped_scenarios is
     #: the full planner enumeration
     deduped_scenarios: int = 0
+    #: scenarios skipped because an earlier *workload* in the campaign (an
+    #: ACE sibling sharing this workload's prefix) already tested the
+    #: byte-identical crash states against identical expectations;
+    #: scenarios_tested + deduped_scenarios + cross_deduped_scenarios is the
+    #: full planner enumeration
+    cross_deduped_scenarios: int = 0
     bug_reports: List[BugReport] = field(default_factory=list)
     #: timing breakdown in seconds: profile / replay / mount / fsck / check.
     #: ``replay_seconds`` covers only crash-state *construction* (the paper's
@@ -234,6 +240,16 @@ class CrashTestResult:
     crash_state_overlay_bytes: int = 0
     executed_ops: int = 0
     skipped_ops: int = 0
+    #: prefix-shared recording accounting: True when the profile resumed from
+    #: the recorder's shared-prefix cache instead of re-running mkfs + prefix
+    prefix_shared: bool = False
+    #: operations inherited from the shared prefix instead of re-executed
+    prefix_ops_reused: int = 0
+    #: write requests inherited from the shared prefix (recorded_requests
+    #: still counts them: the io_log is identical to from-scratch recording)
+    prefix_writes_reused: int = 0
+    #: recording seconds the prefix reuse avoided for this workload
+    prefix_seconds_saved: float = 0.0
 
     @property
     def passed(self) -> bool:

@@ -22,7 +22,7 @@ from .engine import (
     run_campaign,
 )
 from .spec import HarnessSpec
-from .stream import TimedIterator, chunked
+from .stream import TimedIterator, chunked, chunked_affine
 
 __all__ = [
     "HarnessSpec",
@@ -39,4 +39,5 @@ __all__ = [
     "DEFAULT_CHUNK_SIZE",
     "TimedIterator",
     "chunked",
+    "chunked_affine",
 ]

@@ -48,6 +48,12 @@ class ChunkStats:
     seconds: float
     failing_workloads: int
     worker: str
+    #: workloads in this chunk whose profile resumed from the worker's
+    #: prefix cache (prefix-affine chunking keeps this high for ACE streams)
+    prefix_hits: int = 0
+    #: crash scenarios this chunk skipped via the worker's cross-workload
+    #: dedup cache
+    cross_deduped_scenarios: int = 0
 
 
 @dataclass
@@ -65,6 +71,14 @@ class ChunkOutcome:
     def failing_workloads(self) -> int:
         return sum(1 for result in self.results if not result.passed)
 
+    @property
+    def prefix_hits(self) -> int:
+        return sum(1 for result in self.results if result.prefix_shared)
+
+    @property
+    def cross_deduped_scenarios(self) -> int:
+        return sum(result.cross_deduped_scenarios for result in self.results)
+
     def stats(self) -> ChunkStats:
         """This outcome without its result payload."""
         return ChunkStats(
@@ -73,6 +87,8 @@ class ChunkOutcome:
             seconds=self.seconds,
             failing_workloads=self.failing_workloads,
             worker=self.worker,
+            prefix_hits=self.prefix_hits,
+            cross_deduped_scenarios=self.cross_deduped_scenarios,
         )
 
 

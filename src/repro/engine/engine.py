@@ -20,11 +20,12 @@ from dataclasses import dataclass, field
 from typing import Callable, Iterable, List, Optional
 
 from ..core.results import CampaignResult
+from ..crashmonkey.recorder import default_share_prefixes
 from ..fs.registry import models, resolve_fs_name
 from ..workload.workload import Workload
 from .backends import ChunkStats, ExecutionBackend, SerialBackend, make_backend
 from .spec import HarnessSpec
-from .stream import TimedIterator, chunked
+from .stream import TimedIterator, chunked, chunked_affine
 
 #: Default chunk size: large enough to amortize dispatch, small enough for
 #: balanced progress reporting and bounded in-flight memory.
@@ -68,7 +69,8 @@ class CampaignEngine:
                  backend: Optional[ExecutionBackend] = None,
                  chunk_size: int = DEFAULT_CHUNK_SIZE,
                  progress: Optional[ProgressCallback] = None,
-                 preserve_order: bool = True):
+                 preserve_order: bool = True,
+                 prefix_affine: Optional[bool] = None):
         """
         Args:
             spec: how workers build their harnesses.
@@ -78,21 +80,37 @@ class CampaignEngine:
             preserve_order: reassemble results into input-stream order after
                 unordered completion, so serial and parallel runs return
                 identical orderings.
+            prefix_affine: cut chunk boundaries at ACE sibling-family
+                boundaries (equal :meth:`Workload.family_key` runs stay in
+                one chunk), so a pool worker's prefix cache and cross-workload
+                dedup cache see a family's shared prefix together instead of
+                split across workers.  Never reorders the stream.  ``None``
+                (the default) follows ``spec.share_prefixes``.
         """
         self.spec = spec
         self.backend = backend if backend is not None else SerialBackend()
         self.chunk_size = chunk_size
         self.progress = progress
         self.preserve_order = preserve_order
+        if prefix_affine is None:
+            prefix_affine = (default_share_prefixes() if spec.share_prefixes is None
+                             else spec.share_prefixes)
+        self.prefix_affine = prefix_affine
         self.fs_name = resolve_fs_name(spec.fs_name)
         self.fs_model = models(self.fs_name)
 
     # ------------------------------------------------------------------ running
 
+    def _chunked(self, timed: TimedIterator):
+        if self.prefix_affine:
+            return chunked_affine(timed, self.chunk_size,
+                                  key=lambda workload: workload.family_key())
+        return chunked(timed, self.chunk_size)
+
     def run(self, workloads: Iterable[Workload], label: str = "") -> EngineRun:
         """Stream ``workloads`` through the backend; chunking is the engine's."""
         timed = TimedIterator(workloads)
-        run = self._execute(enumerate(chunked(timed, self.chunk_size)), label, timed)
+        run = self._execute(enumerate(self._chunked(timed)), label, timed)
         run.result.generation_seconds = timed.seconds
         if getattr(self.backend, "overlaps_generation", False):
             # Workers keep testing while the dispatch thread pulls from the

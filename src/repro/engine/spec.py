@@ -45,6 +45,20 @@ class HarnessSpec:
     #: skip crash states at a checkpoint that provably repeats an earlier one
     #: (same stable fork, window and expectations — flush-free windows)
     dedup_scenarios: bool = True
+    #: record shared ACE-sibling operation prefixes once per worker, resuming
+    #: each sibling's profile from an O(1) snapshot fork (profiles stay
+    #: byte-for-byte identical to from-scratch recording).  Also makes the
+    #: engine chunk prefix-affinely so siblings land on the same worker.
+    #: ``None`` follows the recorder's default (on, unless the
+    #: ``REPRO_NO_SHARE_PREFIXES`` environment variable is set).
+    share_prefixes: Optional[bool] = None
+    #: skip crash states already tested by an earlier workload of the same
+    #: worker harness (byte-identical states and expectations).  The cache is
+    #: per harness: campaign-wide under the serial backend, per worker under
+    #: a pool — prefix-affine chunking keeps sibling families on one worker,
+    #: so pool runs dedup the same sibling repeats, but counts can differ
+    #: from serial when a family is split across workers.
+    cross_workload_dedup: bool = False
     kernel_version: str = "4.16"
 
     def build(self) -> CrashMonkey:
@@ -61,5 +75,7 @@ class HarnessSpec:
             reorder_bound=self.reorder_bound,
             torn_bound=self.torn_bound,
             dedup_scenarios=self.dedup_scenarios,
+            share_prefixes=self.share_prefixes,
+            cross_workload_dedup=self.cross_workload_dedup,
             kernel_version=self.kernel_version,
         )

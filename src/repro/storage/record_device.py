@@ -113,6 +113,18 @@ class RecordingDevice:
         self._seq = 0
         self._checkpoints = 0
 
+    def restore_log(self, log: Sequence[IORequest], checkpoints: int) -> None:
+        """Seed the recorder with an already-recorded stream.
+
+        Used by prefix-shared profiling: a run resumed from a cached prefix
+        snapshot inherits the prefix's recorded requests (and continues the
+        sequence numbering and checkpoint ids after them), so its final log
+        is byte-for-byte what recording from scratch would have produced.
+        """
+        self._log = list(log)
+        self._seq = self._log[-1].seq if self._log else 0
+        self._checkpoints = checkpoints
+
     # -- introspection -----------------------------------------------------------
 
     @property

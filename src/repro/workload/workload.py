@@ -6,7 +6,11 @@ the rest of the pipeline relies on:
 * the *skeleton* — the sequence of core (non-dependency, non-persistence)
   operation names, used by the Figure-5 post-processing to group bug reports,
 * persistence-point positions — the crash points CrashMonkey simulates,
-* a stable identifier used to deduplicate and to name reports.
+* a stable identifier used to deduplicate and to name reports,
+* *prefix keys* — content-derived identifiers of every operation prefix,
+  which the prefix-shared recorder uses to recognise that two ACE sibling
+  workloads start with the same operations and need that prefix recorded
+  only once.
 """
 
 from __future__ import annotations
@@ -18,6 +22,17 @@ from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from ..errors import WorkloadError
 from .operations import Operation
+
+
+def _hash_operation(hasher, op: Operation) -> None:
+    """Feed one operation's canonical JSON into an incremental digest.
+
+    A length-prefixed separator keeps operation boundaries unambiguous, so
+    concatenations that merely *render* the same can never collide.
+    """
+    payload = json.dumps(op.to_json(), sort_keys=True).encode("utf-8")
+    hasher.update(f"{len(payload)}:".encode("ascii"))
+    hasher.update(payload)
 
 
 @dataclass
@@ -84,6 +99,53 @@ class Workload:
             json.dumps([op.to_json() for op in self.ops], sort_keys=True).encode("utf-8")
         ).hexdigest()
         return digest[:16]
+
+    def prefix_key(self, length: Optional[int] = None) -> str:
+        """Content-derived identifier of the first ``length`` operations.
+
+        Two workloads with equal ``prefix_key(k)`` have byte-identical first
+        ``k`` operations (op name, every argument, kwargs, dependency flag) —
+        the property the prefix-shared recorder relies on to resume a sibling
+        from a cached recording instead of re-running the prefix.  A key
+        collision between *different* prefixes would silently corrupt the
+        workload trie, so the key digests the full canonical JSON of every
+        operation, not just the names.  ``length=None`` keys the whole
+        workload.
+        """
+        if length is None:
+            length = len(self.ops)
+        hasher = hashlib.sha1()
+        for op in self.ops[:length]:
+            _hash_operation(hasher, op)
+        return hasher.hexdigest()[:16]
+
+    def prefix_keys(self) -> Tuple[str, ...]:
+        """``prefix_key`` of every prefix, from 0 ops to the full workload.
+
+        Computed in one incremental pass, so ``prefix_keys()[k] ==
+        prefix_key(k)`` without re-hashing each prefix from scratch.
+        """
+        hasher = hashlib.sha1()
+        keys = [hasher.hexdigest()[:16]]
+        for op in self.ops:
+            _hash_operation(hasher, op)
+            keys.append(hasher.hexdigest()[:16])
+        return tuple(keys)
+
+    def family_key(self) -> str:
+        """Identity of the workload's non-persistence operations.
+
+        ACE's phase 3 emits *sibling families*: workloads with identical core
+        and dependency operations that differ only in where persistence
+        points sit.  Those siblings share the longest recording prefixes, so
+        the engine's prefix-affine chunking keeps workloads with equal
+        ``family_key`` in one chunk (one worker, one warm prefix cache).
+        """
+        hasher = hashlib.sha1()
+        for op in self.ops:
+            if not op.is_persistence:
+                _hash_operation(hasher, op)
+        return hasher.hexdigest()[:16]
 
     def display_name(self) -> str:
         return self.name or f"workload-{self.workload_id()}"
