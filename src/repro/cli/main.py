@@ -97,11 +97,23 @@ def _add_recording_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--no-share-prefixes", dest="share_prefixes", action="store_false",
                         help="record every workload from scratch (mkfs + full prefix "
                              "re-run per workload)")
+    parser.add_argument("--share-replay", dest="share_replay", action="store_true",
+                        default=None,
+                        help="resume each workload's crash-state build from the cached "
+                             "cursor fork on its recorded stream's shared sibling prefix "
+                             "(default; crash states are byte-for-byte identical either way)")
+    parser.add_argument("--no-share-replay", dest="share_replay", action="store_false",
+                        help="replay every workload's crash states from scratch")
     parser.add_argument("--cross-workload-dedup", action="store_true", default=False,
                         help="skip crash states already tested by an earlier workload "
                              "with byte-identical state and expectations (identical "
                              "recurring states across ACE siblings are counted once; "
                              "raw report counts drop accordingly)")
+    parser.add_argument("--global-dedup-cache", metavar="PATH", default=None,
+                        help="disk-backed sighting database shared by every worker, "
+                             "promoting --cross-workload-dedup to campaign-global under "
+                             "a process pool (pool campaigns auto-provision a temporary "
+                             "one when unset)")
 
 
 def _add_crash_plan_args(parser: argparse.ArgumentParser) -> None:
@@ -172,7 +184,9 @@ def cmd_test(args) -> int:
                           crash_plan=args.crash_plan, reorder_bound=args.reorder_bound,
                           torn_bound=args.torn_bound,
                           share_prefixes=args.share_prefixes,
-                          cross_workload_dedup=args.cross_workload_dedup)
+                          share_replay=args.share_replay,
+                          cross_workload_dedup=args.cross_workload_dedup,
+                          global_dedup_cache=args.global_dedup_cache)
     result = harness.test_workload(workload)
     print(result.summary())
     for report in result.bug_reports:
@@ -195,7 +209,9 @@ def cmd_campaign(args) -> int:
         reorder_bound=args.reorder_bound,
         torn_bound=args.torn_bound,
         share_prefixes=args.share_prefixes,
+        share_replay=args.share_replay,
         cross_workload_dedup=args.cross_workload_dedup,
+        global_dedup_cache=args.global_dedup_cache,
         processes=args.processes,
         chunk_size=args.chunk_size,
     )

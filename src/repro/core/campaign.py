@@ -14,7 +14,10 @@ O(workload space).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import contextlib
+import os
+import tempfile
+from dataclasses import dataclass, replace
 from typing import Iterable, Iterator, List, Optional, Sequence
 
 from ..ace.adapter import CrashMonkeyAdapter
@@ -60,10 +63,19 @@ class CampaignConfig:
     #: None follows the recorder's default (on, unless REPRO_NO_SHARE_PREFIXES
     #: is set in the environment)
     share_prefixes: Optional[bool] = None
+    #: resume each workload's crash-state build from the cached cursor fork
+    #: on its recorded stream's shared sibling prefix (crash states stay
+    #: byte-for-byte identical either way); None follows the replayer's
+    #: default (on, unless REPRO_NO_SHARE_REPLAY is set in the environment)
+    share_replay: Optional[bool] = None
     #: skip crash states already tested by an earlier workload on the same
     #: worker (byte-identical states + expectations); identical recurring
     #: states are counted once, so raw report counts drop accordingly
     cross_workload_dedup: bool = False
+    #: path to a disk-backed sighting database shared by all workers,
+    #: promoting cross-workload dedup to campaign-global under a pool backend
+    #: (None with processes > 1 auto-provisions a temporary one per run)
+    global_dedup_cache: Optional[str] = None
     #: worker processes; 1 = serial in-process, >1 = process-pool backend
     processes: int = 1
     #: workloads per dispatched chunk (None = engine default)
@@ -90,7 +102,9 @@ class B3Campaign:
             torn_bound=config.torn_bound,
             dedup_scenarios=config.dedup_scenarios,
             share_prefixes=config.share_prefixes,
+            share_replay=config.share_replay,
             cross_workload_dedup=config.cross_workload_dedup,
+            global_dedup_cache=config.global_dedup_cache,
         )
         self._harness: Optional[CrashMonkey] = None
         #: engine bookkeeping of the most recent :meth:`run` (chunk stats, wall clock)
@@ -121,7 +135,8 @@ class B3Campaign:
 
     # ------------------------------------------------------------------ execution
 
-    def _engine(self, progress: Optional[ProgressCallback]) -> CampaignEngine:
+    def _engine(self, progress: Optional[ProgressCallback],
+                spec: Optional[HarnessSpec] = None) -> CampaignEngine:
         if self.config.processes <= 1:
             # Reuse the campaign's own harness across the whole run.
             backend = SerialBackend(harness=self.harness)
@@ -130,11 +145,29 @@ class B3Campaign:
         chunk_size = (self.config.chunk_size if self.config.chunk_size is not None
                       else DEFAULT_CHUNK_SIZE)
         return CampaignEngine(
-            self.spec,
+            spec if spec is not None else self.spec,
             backend=backend,
             chunk_size=chunk_size,
             progress=progress,
         )
+
+    def _run_spec(self, stack: contextlib.ExitStack) -> HarnessSpec:
+        """The spec this run dispatches, with a dedup database provisioned.
+
+        A pool run with cross-workload dedup but no explicit cache path gets
+        a temporary campaign-global sqlite database for the duration of the
+        run: without it each worker's sightings are private, and a sibling
+        family split across workers re-tests states another worker already
+        covered.  Serial runs keep the in-memory cache (same scope, no I/O).
+        """
+        if (self.config.processes <= 1
+                or not self.config.cross_workload_dedup
+                or self.spec.global_dedup_cache is not None):
+            return self.spec
+        tmpdir = stack.enter_context(
+            tempfile.TemporaryDirectory(prefix="repro-dedup-")
+        )
+        return replace(self.spec, global_dedup_cache=os.path.join(tmpdir, "sightings.sqlite"))
 
     def run(self, workloads: Optional[Iterable[Workload]] = None,
             progress: Optional[ProgressCallback] = None) -> CampaignResult:
@@ -148,7 +181,9 @@ class B3Campaign:
         source = workloads if workloads is not None else self.iter_workloads()
         adapter = CrashMonkeyAdapter(self.fs_name)
         label = self.bounds.label or f"seq-{self.bounds.seq_length}"
-        run = self._engine(progress).run(adapter.adapt_stream(source), label=label)
+        with contextlib.ExitStack() as stack:
+            spec = self._run_spec(stack)
+            run = self._engine(progress, spec).run(adapter.adapt_stream(source), label=label)
         run.result.invalid_workloads = adapter.invalid_workloads
         self.last_run = run
         return run.result

@@ -73,6 +73,21 @@ class CampaignResult:
         return sum(result.prefix_writes_reused for result in self.results)
 
     @property
+    def replay_hits(self) -> int:
+        """Workloads whose crash-state build resumed from a replay trail."""
+        return sum(1 for result in self.results if result.replay_shared)
+
+    @property
+    def replayed_write_requests(self) -> int:
+        """Write requests actually applied while constructing crash states."""
+        return sum(result.replayed_write_requests for result in self.results)
+
+    @property
+    def replay_writes_reused(self) -> int:
+        """Write requests inherited from shared replay trails campaign-wide."""
+        return sum(result.replay_writes_reused for result in self.results)
+
+    @property
     def deduped_scenarios(self) -> int:
         """Scenarios skipped by within-workload cross-checkpoint dedup."""
         return sum(result.deduped_scenarios for result in self.results)
@@ -89,6 +104,14 @@ class CampaignResult:
         not wall clock.
         """
         return sum(result.prefix_seconds_saved for result in self.results)
+
+    def replay_seconds_saved(self) -> float:
+        """Construction-phase seconds shared replay avoided (summed over workers).
+
+        The trie-hit component of the replay phase; ``phase_seconds()``'s
+        replay component is the fresh-build part actually paid.
+        """
+        return sum(result.replay_seconds_saved for result in self.results)
 
     def all_reports(self) -> List[BugReport]:
         reports: List[BugReport] = []
@@ -164,10 +187,21 @@ class CampaignResult:
             f"{self.cross_deduped_scenarios} cross-workload scenarios skipped"
         )
 
+    def replay_summary(self) -> str:
+        """One line of shared-replay accounting for this campaign."""
+        return (
+            f"replay: {self.replay_hits}/{self.workloads_tested} trail hits, "
+            f"{self.replay_writes_reused} writes reused "
+            f"({self.replayed_write_requests} replayed fresh), "
+            f"{self.replay_seconds_saved():.2f}s saved"
+        )
+
     def describe(self) -> str:
         lines = [self.summary()]
         if self.prefix_hits or self.cross_deduped_scenarios:
             lines.append(self.recording_summary())
+        if self.replay_hits:
+            lines.append(self.replay_summary())
         lines.append("report groups:")
         for group in self.grouped_reports():
             lines.append("  " + group.describe())

@@ -14,6 +14,7 @@ from .crashplan import (
     CrashPlanner,
     CrashScenario,
     CrossWorkloadCache,
+    GlobalDedupCache,
     PrefixPlanner,
     ReorderPlanner,
     TornWritePlanner,
@@ -22,7 +23,12 @@ from .crashplan import (
 from .harness import CrashMonkey
 from .oracle import Oracle
 from .recorder import WorkloadProfile, WorkloadRecorder
-from .replayer import CrashState, CrashStateGenerator
+from .replayer import (
+    CrashState,
+    CrashStateGenerator,
+    SharedReplayCache,
+    default_share_replay,
+)
 from .report import BugReport, CrashTestResult, Mismatch, Severity
 from .tracker import PersistenceTracker, TrackedDir, TrackedFile, TrackerView
 
@@ -41,9 +47,12 @@ __all__ = [
     "WorkloadRecorder",
     "CrashState",
     "CrashStateGenerator",
+    "SharedReplayCache",
+    "default_share_replay",
     "CrashPlanner",
     "CrashScenario",
     "CrossWorkloadCache",
+    "GlobalDedupCache",
     "PrefixPlanner",
     "ReorderPlanner",
     "TornWritePlanner",

@@ -308,6 +308,68 @@ class CrossWorkloadCache:
         return True
 
 
+class GlobalDedupCache:
+    """Campaign-global, disk-backed variant of :class:`CrossWorkloadCache`.
+
+    A :class:`CrossWorkloadCache` lives inside one harness, so under a
+    process-pool backend each worker keeps its own sightings: a sibling
+    family split across workers (or across non-adjacent chunks of one
+    worker's stream) re-tests persistence points an earlier worker already
+    covered.  This cache stores first sightings in a sqlite database shared
+    by every harness pointed at the same path — the prefix-affine chunker
+    remains the fast path that keeps most repeats worker-local, and the
+    shared database catches the cross-worker remainder.
+
+    Exactly-once registration is delegated to sqlite's atomicity:
+    ``INSERT OR IGNORE`` under the database lock guarantees that of N
+    concurrent workers sighting the same key, exactly one observes an
+    inserted row (and tests the checkpoint) while the rest observe a
+    conflict (and skip it).  Keys are digest tuples, stored as a single
+    joined text column.  Each cache instance owns one connection in the
+    process that built it; the instance itself never crosses process
+    boundaries — workers construct their own from the path in the spec.
+    """
+
+    def __init__(self, path: str, timeout: float = 30.0):
+        import sqlite3
+
+        self.path = path
+        self._conn = sqlite3.connect(path, timeout=timeout)
+        # WAL lets readers proceed during a writer's commit; sightings are
+        # single-row inserts, so contention stays on the short write lock.
+        self._conn.execute("PRAGMA journal_mode=WAL")
+        self._conn.execute("PRAGMA synchronous=NORMAL")
+        self._conn.execute(
+            "CREATE TABLE IF NOT EXISTS sightings (key TEXT PRIMARY KEY)"
+        )
+        self._conn.commit()
+        self.hits = 0
+        self.misses = 0
+
+    @staticmethod
+    def _encode(key: Tuple) -> str:
+        return "|".join("" if part is None else str(part) for part in key)
+
+    def __len__(self) -> int:
+        row = self._conn.execute("SELECT COUNT(*) FROM sightings").fetchone()
+        return int(row[0])
+
+    def first_sighting(self, key: Tuple) -> bool:
+        """Register ``key``; True when no harness anywhere tested it before."""
+        cursor = self._conn.execute(
+            "INSERT OR IGNORE INTO sightings (key) VALUES (?)", (self._encode(key),)
+        )
+        self._conn.commit()
+        if cursor.rowcount == 1:
+            self.misses += 1
+            return True
+        self.hits += 1
+        return False
+
+    def close(self) -> None:
+        self._conn.close()
+
+
 #: Registered plan names → planner factories.  ``reorder_bound`` and
 #: ``torn_bound`` are accepted by every factory so harness specs can rebuild
 #: planners uniformly.

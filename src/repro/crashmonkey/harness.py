@@ -24,9 +24,9 @@ from ..fs.registry import models, resolve_fs_name
 from ..storage.block import DEFAULT_DEVICE_BLOCKS
 from ..workload.workload import Workload
 from .checker import CheckPipeline
-from .crashplan import CrossWorkloadCache, make_planner
+from .crashplan import CrossWorkloadCache, GlobalDedupCache, make_planner
 from .recorder import WorkloadProfile, WorkloadRecorder
-from .replayer import CrashStateGenerator
+from .replayer import CrashStateGenerator, SharedReplayCache, default_share_replay
 from .report import BugReport, CrashTestResult
 
 
@@ -44,7 +44,9 @@ class CrashMonkey:
                  torn_bound: int = 2,
                  dedup_scenarios: bool = True,
                  share_prefixes: Optional[bool] = None,
+                 share_replay: Optional[bool] = None,
                  cross_workload_dedup: bool = False,
+                 global_dedup_cache: Optional[str] = None,
                  kernel_version: str = "4.16"):
         """
         Args:
@@ -79,12 +81,27 @@ class CrashMonkey:
                 recording; this only changes how fast they are produced).
                 ``None`` follows the recorder's default (on, unless the
                 ``REPRO_NO_SHARE_PREFIXES`` environment variable is set).
+            share_replay: resume each workload's one-pass crash-state build
+                from the deepest cached cursor fork on its recorded stream's
+                shared sibling prefix, instead of re-applying every shared
+                write (crash states stay byte-for-byte identical to
+                from-scratch construction; this only changes how fast they
+                are built).  ``None`` follows :func:`default_share_replay`
+                (on, unless the ``REPRO_NO_SHARE_REPLAY`` environment
+                variable is set).
             cross_workload_dedup: additionally skip crash states at
                 checkpoints whose states *and* expectations are byte-identical
                 to ones already tested by an earlier workload of this
                 harness's lifetime (ACE siblings re-reaching the shared
                 prefix's persistence points).  Identical recurring states are
                 then counted once — raw report counts drop accordingly.
+            global_dedup_cache: path to a disk-backed (sqlite) sighting cache
+                shared by every harness pointed at it.  With
+                ``cross_workload_dedup`` enabled this promotes the dedup
+                scope from harness-lifetime (per pool worker) to
+                campaign-global: a checkpoint first tested by *any* worker is
+                skipped by all of them.  Ignored when ``cross_workload_dedup``
+                is off.
             kernel_version: label attached to bug reports.
         """
         self.fs_name = resolve_fs_name(fs_name)
@@ -104,9 +121,22 @@ class CrashMonkey:
                                          share_prefixes=share_prefixes)
         #: resolved value (the recorder applies the None -> default rule)
         self.share_prefixes = self.recorder.share_prefixes
-        #: harness-lifetime cache of (crash states, expectations) keys; one
-        #: fixed fs/bugs/planner per harness keeps its sightings sound
-        self.cross_cache = CrossWorkloadCache() if cross_workload_dedup else None
+        #: resolved value for shared crash-state replay
+        self.share_replay = (default_share_replay() if share_replay is None
+                             else share_replay)
+        #: replay-trie spine shared by every workload this harness tests
+        self.replay_cache = SharedReplayCache() if self.share_replay else None
+        #: cache of (crash states, expectations) keys; harness-lifetime and
+        #: in-memory by default, campaign-global and disk-backed when a
+        #: ``global_dedup_cache`` path is given.  One fixed fs/bugs/planner
+        #: per harness (and per campaign) keeps its sightings sound.
+        self.global_dedup_cache = global_dedup_cache if cross_workload_dedup else None
+        if not cross_workload_dedup:
+            self.cross_cache = None
+        elif global_dedup_cache is not None:
+            self.cross_cache = GlobalDedupCache(global_dedup_cache)
+        else:
+            self.cross_cache = CrossWorkloadCache()
         self.checker = CheckPipeline(checks=checks, skip_checks=skip_checks,
                                      run_write_checks=run_write_checks)
 
@@ -141,7 +171,8 @@ class CrashMonkey:
 
         generator = CrashStateGenerator(profile, planner=self.planner,
                                         dedup_scenarios=self.dedup_scenarios,
-                                        cross_cache=self.cross_cache)
+                                        cross_cache=self.cross_cache,
+                                        replay_cache=self.replay_cache)
         result.checkpoints_tested = len(checkpoints)
         for crash_state in generator.generate_scenarios(checkpoints):
             result.replay_seconds += crash_state.replay_seconds
@@ -177,6 +208,9 @@ class CrashMonkey:
         result.replayed_write_requests = generator.replayed_write_requests
         result.deduped_scenarios = generator.deduped_scenarios
         result.cross_deduped_scenarios = generator.cross_deduped_scenarios
+        result.replay_shared = generator.replay_shared
+        result.replay_writes_reused = generator.replay_writes_reused
+        result.replay_seconds_saved = generator.replay_seconds_saved
         return result
 
     def test_stream(self, workloads) -> "Iterator[CrashTestResult]":

@@ -23,6 +23,7 @@ plan additionally explores crashes that lose bounded subsets of the in-flight
 from __future__ import annotations
 
 import hashlib
+import os
 import time
 from dataclasses import dataclass, replace
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
@@ -96,6 +97,189 @@ class _CheckpointRecord:
     state_digest: Optional[str] = None
 
 
+def default_share_replay() -> bool:
+    """Default for ``share_replay`` when callers pass ``None``.
+
+    Replay sharing is on by default; setting ``REPRO_NO_SHARE_REPLAY=1``
+    flips the default to from-scratch crash-state construction.  The CI test
+    matrix uses this to keep the reference construction path — the one the
+    shared builds are parity-proven against — covered by the full tier-1
+    suite.  Explicit ``share_replay=True/False`` arguments always win.  The
+    conventional "unset" spellings (empty, ``0``, ``false``, ``no``, ``off``)
+    keep sharing on, so ``REPRO_NO_SHARE_REPLAY=0`` does not silently
+    disable it.
+    """
+    return os.environ.get("REPRO_NO_SHARE_REPLAY", "").strip().lower() in (
+        "", "0", "false", "no", "off",
+    )
+
+
+def _requests_match(a: IORequest, b: IORequest) -> bool:
+    """Whether two recorded requests are the same request.
+
+    Identity is the fast path: prefix-shared recording hands every sibling
+    the *same* leading request objects, so matching a shared prefix is one
+    pointer comparison per entry.  From-scratch profiles carry equal-content
+    copies instead; field equality keeps replay sharing correct (never just
+    an optimization artifact) for them too.
+    """
+    if a is b:
+        return True
+    return (
+        a.seq == b.seq
+        and a.kind == b.kind
+        and a.block == b.block
+        and a.flags == b.flags
+        and a.checkpoint_id == b.checkpoint_id
+        and a.tag == b.tag
+        and (a.data == b.data if (a.data is not None and b.data is not None)
+             else a.data is b.data)
+    )
+
+
+@dataclass
+class _ReplayNode:
+    """Frozen cursor state after consuming a prefix of the recorded stream.
+
+    Captured at every flush barrier and checkpoint marker of the most
+    recently built workload — exactly the points where the one-pass build
+    already forks an O(1) snapshot, so freezing a node adds no device work.
+    A sibling workload whose recorded stream shares the node's prefix resumes
+    from here instead of re-applying every shared write.
+    """
+
+    #: number of io_log entries consumed to reach this state
+    index: int
+    #: frozen fork of the replay cursor (never written; siblings fork it)
+    cursor: CowDevice
+    #: stable fork as of the last flush barrier before ``index``
+    stable: CowDevice
+    #: in-flight window at ``index``, in issue order
+    window: Tuple[IORequest, ...]
+    #: checkpoint records completed so far (snapshot copy, shared records)
+    records: Dict[int, "_CheckpointRecord"]
+    #: running cross-workload digest state at ``index`` (None when the build
+    #: ran without a cross-workload cache)
+    hasher: Optional[object]
+    #: write requests applied from the start of the stream to reach this node
+    replayed_writes: int
+    #: build wall-clock seconds a from-scratch run spends reaching this node
+    elapsed: float
+
+
+class SharedReplayCache:
+    """Replay-trie spine shared by sibling workloads' crash-state builds.
+
+    The replay counterpart of the recorder's prefix-shared trie: ACE sibling
+    families share long recorded-stream prefixes (byte-identical when
+    recording was prefix-shared, content-identical otherwise), so the
+    one-pass crash-state construction of each sibling re-applies the same
+    prefix writes onto the same base image.  This cache keeps the frozen
+    cursor forks of the most recently built workload, keyed by stream prefix;
+    the next sibling resumes from the deepest node on its longest shared
+    prefix and replays only its own suffix.  The resulting checkpoint records
+    (hence every crash state any planner derives from them) are byte-for-byte
+    identical to from-scratch construction — the shared prefix writes are
+    just applied once instead of once per sibling.
+
+    Like the recording trie, a single cached path is enough for ACE's
+    depth-first family order; an out-of-order stream merely falls back to
+    building from scratch (the cache is an optimization, never a correctness
+    requirement).
+    """
+
+    def __init__(self):
+        self._trail: List[_ReplayNode] = []
+        self._log: Tuple[IORequest, ...] = ()
+        self._base = None
+        self._hashed = False
+        # -- campaign-lifetime accounting ------------------------------------
+        #: builds that resumed from the cache instead of starting from scratch
+        self.replay_hits = 0
+        #: write requests inherited from shared prefixes across all builds
+        self.replay_writes_reused = 0
+        #: build seconds saved by resuming instead of re-applying prefixes
+        self.replay_seconds_saved = 0.0
+
+    def clear(self) -> None:
+        """Drop the cached trail (frees the snapshots it holds)."""
+        self._trail = []
+        self._log = ()
+        self._base = None
+
+    # ------------------------------------------------------------------ matching
+
+    def _base_matches(self, base) -> bool:
+        if base is self._base:
+            return True
+        return (
+            self._base is not None
+            and base.num_blocks == self._base.num_blocks
+            and base.content_equal(self._base)
+        )
+
+    def _shared_prefix_len(self, log: Sequence[IORequest]) -> int:
+        old = self._log
+        limit = min(len(old), len(log))
+        index = 0
+        while index < limit and _requests_match(old[index], log[index]):
+            index += 1
+        return index
+
+    # ------------------------------------------------------------------ build protocol
+
+    def begin(self, profile: WorkloadProfile, want_hasher: bool) -> Optional[_ReplayNode]:
+        """Start a build for ``profile``; returns the resume node or None.
+
+        Drops trail nodes past the divergence point (they belong to the
+        previous sibling's suffix) and resets the trail entirely when the
+        base image or digest mode changed — a node frozen without a running
+        digest cannot seed a build that needs one, and vice versa.
+        """
+        log = profile.io_log
+        node: Optional[_ReplayNode] = None
+        if self._trail and self._hashed == want_hasher and self._base_matches(profile.base_image):
+            shared = self._shared_prefix_len(log)
+            while self._trail and self._trail[-1].index > shared:
+                self._trail.pop()
+            if self._trail:
+                node = self._trail[-1]
+        if node is None:
+            self._trail = []
+            self._base = profile.base_image
+        else:
+            self.replay_hits += 1
+            self.replay_writes_reused += node.replayed_writes
+            self.replay_seconds_saved += node.elapsed
+        self._log = log
+        self._hashed = want_hasher
+        return node
+
+    def freeze(self, *, index: int, cursor: CowDevice, stable: CowDevice,
+               window: Tuple[IORequest, ...],
+               records: Dict[int, "_CheckpointRecord"],
+               hasher: Optional[object], replayed_writes: int,
+               elapsed: float) -> None:
+        """Append a trail node for the build in progress.
+
+        ``records`` and ``hasher`` are snapshotted here (the walk keeps
+        mutating its own copies); ``cursor``/``stable`` are already frozen
+        forks, shared as-is.
+        """
+        self._trail.append(
+            _ReplayNode(
+                index=index,
+                cursor=cursor,
+                stable=stable,
+                window=window,
+                records=dict(records),
+                hasher=hasher.copy() if hasher is not None else None,
+                replayed_writes=replayed_writes,
+                elapsed=elapsed,
+            )
+        )
+
+
 def _normalized_tracker_view(view: TrackerView) -> Tuple:
     """Tracker view with the checkpoint numbering stripped, for equivalence."""
     files = {ino: replace(f, last_checkpoint=0) for ino, f in view.files.items()}
@@ -142,7 +326,8 @@ class CrashStateGenerator:
     def __init__(self, profile: WorkloadProfile, run_fsck_on_failure: bool = True,
                  planner: Optional[CrashPlanner] = None,
                  dedup_scenarios: bool = True,
-                 cross_cache: Optional[CrossWorkloadCache] = None):
+                 cross_cache: Optional[CrossWorkloadCache] = None,
+                 replay_cache: Optional[SharedReplayCache] = None):
         self.profile = profile
         self.fs_class = get_fs_class(profile.fs_name)
         self.run_fsck_on_failure = run_fsck_on_failure
@@ -154,10 +339,20 @@ class CrashStateGenerator:
         #: expectations were already tested by an *earlier workload* (ACE
         #: siblings sharing a prefix re-reach the same persistence points)
         self.cross_cache = cross_cache
+        #: replay-trie spine resuming the one-pass build from the deepest
+        #: cursor fork on the recorded stream's shared sibling prefix
+        self.replay_cache = replay_cache
         #: write requests applied to devices so far (one per recorded write
         #: for the single cursor pass, plus the re-applied window writes of
         #: each non-baseline scenario)
         self.replayed_write_requests = 0
+        #: True when the build resumed from the shared replay trail
+        self.replay_shared = False
+        #: write requests inherited from the shared trail instead of replayed
+        self.replay_writes_reused = 0
+        #: build seconds the trail resume avoided (the cached wall clock a
+        #: from-scratch build spends reaching the resume point)
+        self.replay_seconds_saved = 0.0
         #: scenarios skipped by cross-checkpoint dedup (each one would have
         #: constructed, mounted and checked a state identical to one already
         #: tested — and double-counted its bug reports)
@@ -172,21 +367,51 @@ class CrashStateGenerator:
     # ------------------------------------------------------------------ one-pass build
 
     def _ensure_built(self) -> Dict[int, _CheckpointRecord]:
-        """Walk the recorded stream once, forking a snapshot per checkpoint."""
+        """Walk the recorded stream once, forking a snapshot per checkpoint.
+
+        With a :class:`SharedReplayCache` attached, the walk resumes from the
+        deepest cached cursor fork on the stream's shared sibling prefix:
+        checkpoint records inside the prefix are inherited as-is (they are
+        the same frozen forks the sibling's build produced) and only the
+        suffix's requests are applied.  Either way the records — and every
+        crash state derived from them — are byte-for-byte what a from-scratch
+        walk produces.
+        """
         if self._records is not None:
             return self._records
         start = time.perf_counter()
-        records: Dict[int, _CheckpointRecord] = {}
-        cursor = CowDevice(self.profile.base_image, name="replay-cursor")
-        stable = cursor.snapshot(name="replay-stable")
-        window: List[IORequest] = []
-        # Running digest over the storage-changing stream (cross-workload
-        # dedup keys); checkpoint markers are skipped so the flush-free repeat
-        # of a persistence point digests identically to its twin.
-        hasher = hashlib.sha1(
-            f"{self.profile.fs_name}:{self.profile.base_image.num_blocks}:".encode("ascii")
-        ) if self.cross_cache is not None else None
-        for request in self.profile.io_log:
+        cache = self.replay_cache
+        log = self.profile.io_log
+        node = cache.begin(self.profile, want_hasher=self.cross_cache is not None) \
+            if cache is not None else None
+        if node is not None:
+            records: Dict[int, _CheckpointRecord] = dict(node.records)
+            cursor = node.cursor.snapshot(name="replay-cursor")
+            stable = node.stable
+            window: List[IORequest] = list(node.window)
+            hasher = node.hasher.copy() if node.hasher is not None else None
+            start_index = node.index
+            replayed = node.replayed_writes
+            base_elapsed = node.elapsed
+            self.replay_shared = True
+            self.replay_writes_reused = node.replayed_writes
+            self.replay_seconds_saved = node.elapsed
+        else:
+            records = {}
+            cursor = CowDevice(self.profile.base_image, name="replay-cursor")
+            stable = cursor.snapshot(name="replay-stable")
+            window = []
+            # Running digest over the storage-changing stream (cross-workload
+            # dedup keys); checkpoint markers are skipped so the flush-free
+            # repeat of a persistence point digests identically to its twin.
+            hasher = hashlib.sha1(
+                f"{self.profile.fs_name}:{self.profile.base_image.num_blocks}:".encode("ascii")
+            ) if self.cross_cache is not None else None
+            start_index = 0
+            replayed = 0
+            base_elapsed = 0.0
+        for index in range(start_index, len(log)):
+            request = log[index]
             if request.is_write:
                 if request.block is None or request.data is None:
                     raise HarnessError(
@@ -194,6 +419,7 @@ class CrashStateGenerator:
                     )
                 cursor.write_block(request.block, request.data)
                 self.replayed_write_requests += 1
+                replayed += 1
                 window.append(request)
                 if hasher is not None:
                     flags = ",".join(flag.value for flag in request.flags)
@@ -206,14 +432,31 @@ class CrashStateGenerator:
                 window = []
                 if hasher is not None:
                     hasher.update(b"f:")
+                if cache is not None:
+                    # The stable fork *is* a frozen cursor fork: caching it
+                    # costs no extra device work.
+                    cache.freeze(
+                        index=index + 1, cursor=stable, stable=stable,
+                        window=(), records=records, hasher=hasher,
+                        replayed_writes=replayed,
+                        elapsed=base_elapsed + time.perf_counter() - start,
+                    )
             elif request.is_checkpoint and request.checkpoint_id is not None:
+                baseline = cursor.snapshot(name=f"crash-{request.checkpoint_id}")
                 records[request.checkpoint_id] = _CheckpointRecord(
                     checkpoint_id=request.checkpoint_id,
-                    baseline=cursor.snapshot(name=f"crash-{request.checkpoint_id}"),
+                    baseline=baseline,
                     stable=stable,
                     window=tuple(window),
                     state_digest=hasher.hexdigest() if hasher is not None else None,
                 )
+                if cache is not None:
+                    cache.freeze(
+                        index=index + 1, cursor=baseline, stable=stable,
+                        window=tuple(window), records=records, hasher=hasher,
+                        replayed_writes=replayed,
+                        elapsed=base_elapsed + time.perf_counter() - start,
+                    )
         self._records = records
         self.build_seconds = time.perf_counter() - start
         return records

@@ -250,6 +250,16 @@ class CrashTestResult:
     prefix_writes_reused: int = 0
     #: recording seconds the prefix reuse avoided for this workload
     prefix_seconds_saved: float = 0.0
+    #: shared-replay accounting: True when the crash-state build resumed from
+    #: the replay trail instead of re-applying the shared stream prefix
+    replay_shared: bool = False
+    #: write requests inherited from the shared replay trail
+    #: (``replayed_write_requests`` counts only the fresh ones)
+    replay_writes_reused: int = 0
+    #: build seconds the trail resume avoided for this workload; together
+    #: with ``replay_seconds`` (the fresh-build component actually paid)
+    #: this splits construction time into trie-hit vs fresh-replay parts
+    replay_seconds_saved: float = 0.0
 
     @property
     def passed(self) -> bool:

@@ -51,6 +51,9 @@ class ChunkStats:
     #: workloads in this chunk whose profile resumed from the worker's
     #: prefix cache (prefix-affine chunking keeps this high for ACE streams)
     prefix_hits: int = 0
+    #: workloads in this chunk whose crash-state build resumed from the
+    #: worker's shared replay trail
+    replay_hits: int = 0
     #: crash scenarios this chunk skipped via the worker's cross-workload
     #: dedup cache
     cross_deduped_scenarios: int = 0
@@ -76,6 +79,10 @@ class ChunkOutcome:
         return sum(1 for result in self.results if result.prefix_shared)
 
     @property
+    def replay_hits(self) -> int:
+        return sum(1 for result in self.results if result.replay_shared)
+
+    @property
     def cross_deduped_scenarios(self) -> int:
         return sum(result.cross_deduped_scenarios for result in self.results)
 
@@ -88,6 +95,7 @@ class ChunkOutcome:
             failing_workloads=self.failing_workloads,
             worker=self.worker,
             prefix_hits=self.prefix_hits,
+            replay_hits=self.replay_hits,
             cross_deduped_scenarios=self.cross_deduped_scenarios,
         )
 

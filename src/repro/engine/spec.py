@@ -52,13 +52,25 @@ class HarnessSpec:
     #: ``None`` follows the recorder's default (on, unless the
     #: ``REPRO_NO_SHARE_PREFIXES`` environment variable is set).
     share_prefixes: Optional[bool] = None
+    #: resume each workload's one-pass crash-state build from the deepest
+    #: cached cursor fork on its recorded stream's shared sibling prefix
+    #: (crash states stay byte-for-byte identical to from-scratch
+    #: construction).  ``None`` follows the replayer's default (on, unless
+    #: the ``REPRO_NO_SHARE_REPLAY`` environment variable is set).
+    share_replay: Optional[bool] = None
     #: skip crash states already tested by an earlier workload of the same
     #: worker harness (byte-identical states and expectations).  The cache is
     #: per harness: campaign-wide under the serial backend, per worker under
     #: a pool — prefix-affine chunking keeps sibling families on one worker,
     #: so pool runs dedup the same sibling repeats, but counts can differ
-    #: from serial when a family is split across workers.
+    #: from serial when a family is split across workers (unless a
+    #: ``global_dedup_cache`` path is set).
     cross_workload_dedup: bool = False
+    #: path to a disk-backed sighting database shared by every worker built
+    #: from this spec, promoting cross-workload dedup to campaign-global
+    #: under a pool backend.  Workers open their own sqlite connection to the
+    #: path; only the string crosses process boundaries.
+    global_dedup_cache: Optional[str] = None
     kernel_version: str = "4.16"
 
     def build(self) -> CrashMonkey:
@@ -76,6 +88,8 @@ class HarnessSpec:
             torn_bound=self.torn_bound,
             dedup_scenarios=self.dedup_scenarios,
             share_prefixes=self.share_prefixes,
+            share_replay=self.share_replay,
             cross_workload_dedup=self.cross_workload_dedup,
+            global_dedup_cache=self.global_dedup_cache,
             kernel_version=self.kernel_version,
         )

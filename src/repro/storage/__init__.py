@@ -16,6 +16,7 @@ from .block import (
     DEFAULT_DEVICE_BLOCKS,
     SECTOR_SIZE,
     SECTORS_PER_BLOCK,
+    Payload,
     blocks_needed,
     compose_torn_block,
     pad_block,
@@ -23,26 +24,38 @@ from .block import (
 )
 from .block_device import BlockDevice
 from .cow_device import CowDevice
-from .io_request import IOFlag, IOKind, IORequest, count_checkpoints, split_at_checkpoint
+from .io_request import (
+    IOFlag,
+    IOKind,
+    IORequest,
+    count_checkpoints,
+    iter_until_checkpoint,
+    split_at_checkpoint,
+)
 from .record_device import RecordingDevice
 from .replay import replay_requests, replay_until_checkpoint
+from .slab import BlockSlab, slabs_enabled
 
 __all__ = [
     "BLOCK_SIZE",
     "DEFAULT_DEVICE_BLOCKS",
     "SECTOR_SIZE",
     "SECTORS_PER_BLOCK",
+    "Payload",
     "blocks_needed",
     "compose_torn_block",
     "pad_block",
     "split_blocks",
     "BlockDevice",
+    "BlockSlab",
+    "slabs_enabled",
     "CowDevice",
     "RecordingDevice",
     "IORequest",
     "IOKind",
     "IOFlag",
     "count_checkpoints",
+    "iter_until_checkpoint",
     "split_at_checkpoint",
     "replay_requests",
     "replay_until_checkpoint",

@@ -11,6 +11,8 @@ crash plan.
 
 from __future__ import annotations
 
+from typing import Union
+
 BLOCK_SIZE = 4096
 
 #: Size of the atomically-persisted disk unit.  Writes of a whole block are
@@ -25,21 +27,35 @@ DEFAULT_DEVICE_BLOCKS = (100 * 1024 * 1024) // BLOCK_SIZE
 
 ZERO_BLOCK = bytes(BLOCK_SIZE)
 
+#: A block payload as the devices move it around: either an immutable
+#: ``bytes`` object or a read-only ``memoryview`` into a shared slab
+#: (see :mod:`.slab`).  Both compare, hash into digests, slice, and decode
+#: identically for every consumer in the stack.
+Payload = Union[bytes, memoryview]
 
-def pad_block(data: bytes) -> bytes:
+
+def pad_block(data) -> Payload:
     """Pad ``data`` with zero bytes to exactly one block.
 
-    Raises ``ValueError`` if the payload is larger than a block; callers that
-    need multi-block payloads must split them first.
+    Exactly-block-sized immutable payloads (``bytes`` or read-only
+    ``memoryview``) pass through without copying — this is the zero-copy fast
+    path the recording and replay hot loops rely on.  Raises ``ValueError``
+    if the payload is larger than a block; callers that need multi-block
+    payloads must split them first.
     """
-    if len(data) > BLOCK_SIZE:
-        raise ValueError(f"payload of {len(data)} bytes does not fit in a {BLOCK_SIZE}-byte block")
-    if len(data) == BLOCK_SIZE:
+    length = len(data)
+    if length > BLOCK_SIZE:
+        raise ValueError(f"payload of {length} bytes does not fit in a {BLOCK_SIZE}-byte block")
+    if length == BLOCK_SIZE:
+        if isinstance(data, memoryview):
+            return data if data.readonly else data.toreadonly()
         return bytes(data)
-    return bytes(data) + bytes(BLOCK_SIZE - len(data))
+    if length == 0:
+        return ZERO_BLOCK
+    return bytes(data) + bytes(BLOCK_SIZE - length)
 
 
-def compose_torn_block(new_data: bytes, prior: bytes, sectors_applied: int) -> bytes:
+def compose_torn_block(new_data, prior, sectors_applied: int) -> Payload:
     """Content of a block whose write was torn after ``sectors_applied`` sectors.
 
     The first ``sectors_applied`` sectors come from the (padded) new payload,
@@ -52,7 +68,13 @@ def compose_torn_block(new_data: bytes, prior: bytes, sectors_applied: int) -> b
             f"sectors_applied must be within [0, {SECTORS_PER_BLOCK}], got {sectors_applied}"
         )
     cut = sectors_applied * SECTOR_SIZE
-    return pad_block(new_data)[:cut] + pad_block(prior)[cut:]
+    new_padded = pad_block(new_data)
+    prior_padded = pad_block(prior)
+    if cut == 0:
+        return prior_padded
+    if cut == BLOCK_SIZE:
+        return new_padded
+    return bytes(new_padded[:cut]) + bytes(prior_padded[cut:])
 
 
 def split_blocks(data: bytes) -> list:

@@ -7,19 +7,28 @@ module provides the same facility for the simulated stack.
 
 Snapshots fork in O(1): instead of copying the parent's overlay, the parent's
 mutable overlay is *frozen* into an immutable chain that both devices share,
-and each side continues writing into its own fresh top overlay.  Reads walk
-top overlay → chain (newest first) → base.  This is what makes the replayer's
-one-pass incremental crash-state construction cheap — it forks a snapshot at
-every persistence point of the recorded stream.
+and each side continues writing into its own fresh top overlay.  Reads check
+the top overlay, then a merged *chain index* (one dict covering every frozen
+layer, maintained incrementally at freeze time and shared with clones), then
+the base — so a deep chain of forks costs one extra dict probe per read, not
+a linear scan of every layer.  This is what makes the replayer's one-pass
+incremental crash-state construction cheap — it forks a snapshot at every
+persistence point of the recorded stream.
+
+Short (sub-block) writes are zero-padded into a per-device :class:`BlockSlab`
+arena when slabs are enabled (the default; see ``REPRO_NO_SLABS``), so the
+overlay holds read-only ``memoryview`` slots of contiguous storage instead of
+one heap-allocated ``bytes`` object per block.
 """
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterator, Optional, Tuple
+from typing import Dict, Iterator, Optional, Tuple
 
 from ..errors import InvalidBlockError
-from .block import BLOCK_SIZE, ZERO_BLOCK, compose_torn_block, pad_block
+from .block import BLOCK_SIZE, ZERO_BLOCK, Payload, compose_torn_block, pad_block
 from .block_device import BlockDevice
+from .slab import BlockSlab, slabs_enabled
 
 #: When a snapshot's frozen chain grows past this many layers the next fork
 #: compacts it into a single layer.  Chains only grow by forking, so this
@@ -42,13 +51,16 @@ class CowDevice:
         self.num_blocks = base.num_blocks
         #: immutable, shared overlay layers (oldest → newest); never mutated
         #: after being frozen by :meth:`snapshot`.
-        self._chain: Tuple[Dict[int, bytes], ...] = ()
-        #: distinct blocks covered by the chain, computed once at freeze time
-        #: and shared with clones (the chain is immutable), so the overlay
-        #: accounting of a freshly forked snapshot is O(1).
-        self._chain_keys: FrozenSet[int] = frozenset()
+        self._chain: Tuple[Dict[int, Payload], ...] = ()
+        #: merged view of every frozen layer (newest content wins), rebuilt
+        #: incrementally at freeze time and shared with clones (the chain is
+        #: immutable), so both the read path and the overlay accounting of a
+        #: freshly forked snapshot are O(1) regardless of chain depth.
+        self._chain_index: Dict[int, Payload] = {}
         #: this device's private, mutable top overlay.
-        self._overlay: Dict[int, bytes] = {}
+        self._overlay: Dict[int, Payload] = {}
+        self._use_slabs = slabs_enabled()
+        self._slab: Optional[BlockSlab] = None
         self.writes = 0
         self.reads = 0
         self.flushes = 0
@@ -67,22 +79,42 @@ class CowDevice:
 
     # -- I/O -----------------------------------------------------------------
 
-    def read_block(self, block: int) -> bytes:
-        self._check_block(block)
-        self.reads += 1
-        if block in self._overlay:
-            return self._overlay[block]
-        for layer in reversed(self._chain):
-            if block in layer:
-                return layer[block]
+    def _visible_block(self, block: int) -> Payload:
+        """Content this snapshot currently exposes for ``block``.
+
+        Single lookup path shared by :meth:`read_block` and
+        :meth:`write_sectors`: top overlay, then the merged chain index, then
+        the base.  Does not touch this device's read accounting (a base
+        fall-through still counts on the base, as a real read would).
+        """
+        data = self._overlay.get(block)
+        if data is not None:
+            return data
+        data = self._chain_index.get(block)
+        if data is not None:
+            return data
         return self.base.read_block(block)
 
-    def write_block(self, block: int, data: bytes) -> None:
+    def _pad(self, data) -> Payload:
+        """Pad a write payload to one block, into the slab when enabled."""
+        length = len(data)
+        if length == BLOCK_SIZE or length == 0 or not self._use_slabs:
+            return pad_block(data)
+        if self._slab is None:
+            self._slab = BlockSlab()
+        return self._slab.store(data)
+
+    def read_block(self, block: int) -> Payload:
+        self._check_block(block)
+        self.reads += 1
+        return self._visible_block(block)
+
+    def write_block(self, block: int, data) -> None:
         self._check_block(block)
         self.writes += 1
-        self._overlay[block] = pad_block(data)
+        self._overlay[block] = self._pad(data)
 
-    def write_sectors(self, block: int, data: bytes, sectors_applied: int) -> None:
+    def write_sectors(self, block: int, data, sectors_applied: int) -> None:
         """Apply only the first ``sectors_applied`` sectors of a block write.
 
         Models a torn write: the remaining sectors keep the block's prior
@@ -91,14 +123,7 @@ class CowDevice:
         of the payload a crash never persisted.
         """
         self._check_block(block)
-        prior = self._overlay.get(block)
-        if prior is None:
-            for layer in reversed(self._chain):
-                if block in layer:
-                    prior = layer[block]
-                    break
-        if prior is None:
-            prior = self.base.read_block(block)
+        prior = self._visible_block(block)
         self.writes += 1
         self._overlay[block] = compose_torn_block(data, prior, sectors_applied)
 
@@ -115,17 +140,26 @@ class CowDevice:
     def reset(self) -> None:
         """Drop every overlay layer, reverting the snapshot to the base image."""
         self._chain = ()
-        self._chain_keys = frozenset()
+        self._chain_index = {}
         self._overlay.clear()
 
     def _freeze(self) -> None:
-        """Move the mutable overlay into the immutable chain."""
+        """Move the mutable overlay into the immutable chain.
+
+        The merged chain index is advanced by *copying* the old index and
+        layering the overlay on top: clones holding the previous index keep
+        an unmutated dict, and this device's lookups stay one probe deep.
+        """
         if self._overlay:
             self._chain = self._chain + (self._overlay,)
-            self._chain_keys = self._chain_keys.union(self._overlay)
+            index = dict(self._chain_index)
+            index.update(self._overlay)
+            self._chain_index = index
             self._overlay = {}
         if len(self._chain) > CHAIN_COMPACT_THRESHOLD:
-            self._chain = (self._merged_overlay(),)
+            # The index already holds the merged contents; reuse it as the
+            # single compacted layer (it is never mutated after this point).
+            self._chain = (self._chain_index,)
 
     def snapshot(self, name: Optional[str] = None) -> "CowDevice":
         """Create a new writable snapshot with the same visible contents.
@@ -137,14 +171,13 @@ class CowDevice:
         self._freeze()
         clone = CowDevice(self.base, name=name or f"{self.name}-snap")
         clone._chain = self._chain
-        clone._chain_keys = self._chain_keys
+        clone._chain_index = self._chain_index
+        clone._use_slabs = self._use_slabs
         return clone
 
-    def _merged_overlay(self) -> Dict[int, bytes]:
+    def _merged_overlay(self) -> Dict[int, Payload]:
         """All blocks modified relative to the base (chain + top overlay)."""
-        merged: Dict[int, bytes] = {}
-        for layer in self._chain:
-            merged.update(layer)
+        merged: Dict[int, Payload] = dict(self._chain_index)
         merged.update(self._overlay)
         return merged
 
@@ -166,8 +199,8 @@ class CowDevice:
     def overlay_blocks(self) -> int:
         """Number of blocks that have been modified relative to the base."""
         if not self._overlay:
-            return len(self._chain_keys)
-        return len(self._chain_keys.union(self._overlay))
+            return len(self._chain_index)
+        return len(self._chain_index.keys() | self._overlay.keys())
 
     def overlay_layers(self) -> int:
         """Number of overlay layers (frozen chain + the mutable top)."""
@@ -179,7 +212,7 @@ class CowDevice:
 
     def written_blocks(self) -> Iterator[Tuple[int, bytes]]:
         """Iterate over ``(block, data)`` for the visible (merged) contents."""
-        merged: Dict[int, bytes] = {}
+        merged: Dict[int, Payload] = {}
         for block, data in self.base.written_blocks():
             merged[block] = data
         merged.update(self._merged_overlay())

@@ -15,6 +15,8 @@ from dataclasses import dataclass, field
 from enum import Enum
 from typing import Optional, Tuple
 
+from .block import Payload
+
 
 class IOKind(str, Enum):
     """Kind of recorded request."""
@@ -41,7 +43,8 @@ class IORequest:
         seq: monotonically increasing sequence number within a recording.
         kind: write, flush, or checkpoint marker.
         block: target block number (``None`` for flush/checkpoint).
-        data: payload for writes (exactly one block), ``None`` otherwise.
+        data: payload for writes (exactly one block, as ``bytes`` or a
+            read-only ``memoryview`` into a payload slab), ``None`` otherwise.
         flags: tuple of :class:`IOFlag` values.
         checkpoint_id: for checkpoint markers, the 1-based persistence-point
             index this marker corresponds to.
@@ -52,7 +55,7 @@ class IORequest:
     seq: int
     kind: IOKind
     block: Optional[int] = None
-    data: Optional[bytes] = None
+    data: Optional[Payload] = None
     flags: Tuple[IOFlag, ...] = field(default_factory=tuple)
     checkpoint_id: Optional[int] = None
     tag: str = ""
@@ -102,9 +105,20 @@ def split_at_checkpoint(requests, checkpoint_id: int):
 
     Raises ``ValueError`` if the stream does not contain that checkpoint.
     """
-    prefix = []
+    return list(iter_until_checkpoint(requests, checkpoint_id))
+
+
+def iter_until_checkpoint(requests, checkpoint_id: int):
+    """Yield requests up to and including the ``checkpoint_id`` marker.
+
+    Streaming counterpart of :func:`split_at_checkpoint`: consumers that only
+    need one pass (the replayer constructing a crash state) avoid
+    materializing a copy of the recorded log per crash state.  Raises
+    ``ValueError`` — from the consuming iteration — if the stream ends
+    without that checkpoint.
+    """
     for request in requests:
-        prefix.append(request)
+        yield request
         if request.is_checkpoint and request.checkpoint_id == checkpoint_id:
-            return prefix
+            return
     raise ValueError(f"recorded stream has no checkpoint {checkpoint_id}")

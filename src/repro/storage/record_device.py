@@ -13,10 +13,11 @@ every fsync/fdatasync/sync/msync in the workload returns.
 
 from __future__ import annotations
 
-from typing import List, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
-from .block import BLOCK_SIZE, pad_block
+from .block import BLOCK_SIZE, Payload, pad_block
 from .io_request import IOFlag, IOKind, IORequest
+from .slab import BlockSlab, slabs_enabled
 
 
 class RecordingDevice:
@@ -29,6 +30,8 @@ class RecordingDevice:
         self._log: List[IORequest] = []
         self._seq = 0
         self._checkpoints = 0
+        self._use_slabs = slabs_enabled()
+        self._slab: Optional[BlockSlab] = None
         self.recording = True
 
     # -- pass-through I/O ----------------------------------------------------
@@ -40,29 +43,42 @@ class RecordingDevice:
     def read_block(self, block: int) -> bytes:
         return self.target.read_block(block)
 
-    def write_block(self, block: int, data: bytes, *, metadata: bool = False,
+    def _capture(self, data) -> Payload:
+        """Pad a write payload to one block exactly once, in the slab when enabled."""
+        length = len(data)
+        if length == BLOCK_SIZE or length == 0 or not self._use_slabs:
+            return pad_block(data)
+        if self._slab is None:
+            self._slab = BlockSlab()
+        return self._slab.store(data)
+
+    def write_block(self, block: int, data, *, metadata: bool = False,
                     fua: bool = False, tag: str = "") -> None:
         """Write a block through to the target, recording the request.
 
         ``fua`` marks a forced-unit-access write: durable when it completes,
         so the crash planners never treat it as in-flight.
         """
-        self.target.write_block(block, data)
         if not self.recording:
+            self.target.write_block(block, data)
             return
+        # Pad the payload exactly once and share the same object between the
+        # target's overlay and the recorded request: re-reading it back from
+        # the target would issue a spurious device read per recorded write,
+        # and padding twice (here and in the CoW overlay) would allocate two
+        # block-sized copies per recorded write.
+        payload = self._capture(data)
+        self.target.write_block(block, payload)
         flags: Tuple[IOFlag, ...] = (IOFlag.METADATA,) if metadata else (IOFlag.DATA,)
         if fua:
             flags = flags + (IOFlag.FUA,)
         self._seq += 1
-        # Record the (padded) payload directly: re-reading it back from the
-        # target would issue a spurious device read per recorded write,
-        # inflating the target's read accounting and doubling recorder work.
         self._log.append(
             IORequest(
                 seq=self._seq,
                 kind=IOKind.WRITE,
                 block=block,
-                data=pad_block(data),
+                data=payload,
                 flags=flags,
                 tag=tag,
             )

@@ -13,7 +13,7 @@ from typing import Iterable, Optional
 from ..errors import HarnessError
 from .block_device import BlockDevice
 from .cow_device import CowDevice
-from .io_request import IORequest, split_at_checkpoint
+from .io_request import IORequest, iter_until_checkpoint
 
 
 def replay_requests(base_image: BlockDevice, requests: Iterable[IORequest], name: str = "crash") -> CowDevice:
@@ -41,6 +41,7 @@ def replay_until_checkpoint(
 
     The resulting device represents the storage contents immediately after the
     corresponding persistence operation completed — the paper's *crash state*.
+    Streams the prefix: the recorded log is never copied per crash state.
     """
-    prefix = split_at_checkpoint(list(requests), checkpoint_id)
+    prefix = iter_until_checkpoint(requests, checkpoint_id)
     return replay_requests(base_image, prefix, name=name or f"crash-state-{checkpoint_id}")
