@@ -1,0 +1,99 @@
+"""Campaign service — durability overhead and resume cost.
+
+The paper's pipeline is only practical because testing is restartable at the
+granularity of a VM (§6.1: 780 machines, any of which can die).  The campaign
+service brings that property to a single host: every completed chunk commits
+to the sqlite state store before the engine moves on.  Durability must be
+cheap on the way in (chunk persistence is a small fraction of harness work)
+and free on the way back (a resume re-executes *zero* completed chunks —
+restart cost is enumeration, not re-testing).
+"""
+
+import statistics
+import time
+
+from repro.ace import seq1_bounds
+from repro.core.campaign import B3Campaign, CampaignConfig
+from repro.service import CampaignStateDB, DurableCampaignRunner
+
+from conftest import print_table
+
+#: Chunk persistence must stay under this fraction of bare-engine wall clock.
+MAX_OVERHEAD = 0.10
+
+ROUNDS = 3
+
+
+def _config() -> CampaignConfig:
+    return CampaignConfig(fs_name="btrfs", bounds=seq1_bounds(), chunk_size=32)
+
+
+def _bare_seconds() -> float:
+    start = time.perf_counter()
+    result = B3Campaign(_config()).run()
+    elapsed = time.perf_counter() - start
+    assert result.workloads_tested > 0
+    return elapsed
+
+
+def _durable_seconds(db_path: str) -> float:
+    start = time.perf_counter()
+    runner = DurableCampaignRunner(_config(), db_path, campaign_id="bench")
+    try:
+        result = runner.run()
+    finally:
+        runner.close()
+    elapsed = time.perf_counter() - start
+    assert result is not None
+    return elapsed
+
+
+def test_durable_campaign_overhead_and_resume(benchmark, tmp_path):
+    def measure():
+        bare = []
+        durable = []
+        for round_index in range(ROUNDS):
+            bare.append(_bare_seconds())
+            db_path = str(tmp_path / f"state-{round_index}.sqlite")
+            durable.append(_durable_seconds(db_path))
+        return statistics.median(bare), statistics.median(durable)
+
+    bare, durable = benchmark.pedantic(measure, iterations=1, rounds=1)
+    overhead = durable / bare - 1.0
+
+    # Resume of a finished campaign: reconstruction only, no re-testing.
+    db_path = str(tmp_path / "state-0.sqlite")
+    resume_start = time.perf_counter()
+    runner = DurableCampaignRunner.from_db(db_path, "bench")
+    try:
+        resumed = runner.run()
+        session = runner.last_session
+    finally:
+        runner.close()
+    resume_seconds = time.perf_counter() - resume_start
+
+    with CampaignStateDB(db_path) as db:
+        chunks_total = db.status("bench").chunks_total
+
+    print_table(
+        "Campaign service: durability overhead (exhaustive seq-1)",
+        [
+            ("bare engine", f"{bare:.3f} s", "-", "-"),
+            ("durable run", f"{durable:.3f} s", f"{overhead * 100:+.1f}%",
+             f"{chunks_total} chunks committed"),
+            ("resume (all done)", f"{resume_seconds:.3f} s", "-",
+             f"{session.chunks_executed} chunks re-executed"),
+        ],
+        ("mode", "wall clock", "overhead", "chunk work"),
+    )
+
+    assert resumed is not None
+    assert resumed.workloads_tested > 0
+    # Restart cost is enumeration only: zero completed chunks replayed.
+    assert session.chunks_executed == 0
+    assert session.workloads_executed == 0
+    assert session.chunks_skipped == chunks_total
+    assert overhead < MAX_OVERHEAD, (
+        f"chunk persistence cost {overhead * 100:.1f}% of bare wall clock "
+        f"(budget {MAX_OVERHEAD * 100:.0f}%)"
+    )

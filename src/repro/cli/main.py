@@ -8,11 +8,20 @@ Subcommands mirror how the paper's tools are used:
 * ``repro-b3 campaign``       — generate-and-test a bounded workload space,
 * ``repro-b3 reproduce``      — replay a known/new bug from the database,
 * ``repro-b3 list-bugs``      — list the known-bug corpus.
+
+The campaign service (durable, resumable, multi-tenant runs) adds:
+
+* ``repro-b3 submit``         — queue a campaign into a state store,
+* ``repro-b3 serve``          — drain the store's queue tenant-fairly,
+* ``repro-b3 status``         — campaign progress and per-tenant usage,
+* ``repro-b3 resume``         — finish an interrupted campaign,
+* ``repro-b3 results``        — print/export a finished campaign's result.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
@@ -33,6 +42,12 @@ from ..crashmonkey.crashplan import PLAN_NAMES
 from ..crashmonkey.harness import CrashMonkey
 from ..fs.bugs import BugConfig
 from ..fs.registry import available_filesystems
+from ..service import (
+    CampaignRequest,
+    CampaignService,
+    CampaignStateDB,
+    DurableCampaignRunner,
+)
 from ..workload.language import format_workload, parse_workload
 
 _BOUND_PRESETS = {
@@ -131,6 +146,24 @@ def _add_crash_plan_args(parser: argparse.ArgumentParser) -> None:
                              "commit-area blocks first (default: 2)")
 
 
+def _add_campaign_space_args(parser: argparse.ArgumentParser) -> None:
+    """The campaign-shaped argument surface shared by ``campaign`` and ``submit``."""
+    parser.add_argument("--filesystem", "-f", default="btrfs", choices=_fs_choices())
+    parser.add_argument("--preset", choices=sorted(_BOUND_PRESETS), default="seq-1")
+    parser.add_argument("--seq-length", type=int, default=1)
+    parser.add_argument("--limit", type=int, default=None)
+    parser.add_argument("--sample", action="store_true",
+                        help="spread --limit workloads over the whole space")
+    parser.add_argument("--patched", action="store_true")
+    parser.add_argument("--processes", "-j", type=_positive_int, default=1,
+                        help="worker processes for the engine's process-pool backend")
+    parser.add_argument("--chunk-size", type=_positive_int, default=None,
+                        help="workloads per dispatched chunk (default: engine default)")
+    _add_crash_plan_args(parser)
+    _add_recording_args(parser)
+    _add_check_selection_args(parser)
+
+
 def _add_check_selection_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--checks", type=_check_list, default=None, metavar="A,B",
                         help="comma-separated consistency checks to run (default: all)")
@@ -194,10 +227,9 @@ def cmd_test(args) -> int:
     return 0 if result.passed else 1
 
 
-def cmd_campaign(args) -> int:
-    if args.list_checks:
-        return _print_check_registry()
-    config = CampaignConfig(
+def _campaign_config(args) -> CampaignConfig:
+    """Build a :class:`CampaignConfig` from campaign-shaped CLI arguments."""
+    return CampaignConfig(
         fs_name=args.filesystem,
         bugs=_bugs_from_args(args),
         bounds=_bounds_from_args(args),
@@ -216,16 +248,65 @@ def cmd_campaign(args) -> int:
         chunk_size=args.chunk_size,
     )
 
-    def show_progress(event):
-        print(
-            f"  chunk {event.chunks_done}: {event.workloads_done} workloads tested, "
-            f"{event.failing_workloads} failing, {event.elapsed_seconds:.2f}s elapsed "
-            f"[{event.chunk.worker}]",
-            file=sys.stderr,
+
+def _print_progress(event) -> None:
+    """Chunk-level progress: done/total, throughput, and an ETA when knowable.
+
+    Durable runs register the full chunk census upfront, so their events
+    carry totals (and hence an ETA); streaming runs report rates only.
+    """
+    chunks = f"{event.chunks_done}"
+    if event.chunks_total is not None:
+        chunks += f"/{event.chunks_total}"
+    workloads = f"{event.workloads_done}"
+    if event.workloads_total is not None:
+        workloads += f"/{event.workloads_total}"
+    line = (
+        f"  chunk {chunks}: {workloads} workloads, "
+        f"{event.failing_workloads} failing, "
+        f"{event.workloads_per_second:.1f} workloads/s"
+    )
+    if event.eta_seconds is not None:
+        line += f", ETA {event.eta_seconds:.1f}s"
+    line += f", {event.elapsed_seconds:.2f}s elapsed [{event.chunk.worker}]"
+    print(line, file=sys.stderr)
+
+
+def _write_json_out(result, path: Optional[str]) -> None:
+    if path is None:
+        return
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(result.to_dict(), handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"wrote JSON results to {path}", file=sys.stderr)
+
+
+def cmd_campaign(args) -> int:
+    if args.list_checks:
+        return _print_check_registry()
+    config = _campaign_config(args)
+    progress = _print_progress if args.progress else None
+
+    if args.durable:
+        if not args.state_db:
+            print("error: --durable requires --state-db PATH", file=sys.stderr)
+            return 2
+        runner = DurableCampaignRunner(
+            config, args.state_db, campaign_id=args.campaign_id, tenant=args.tenant
         )
+        try:
+            result = runner.run(progress=progress)
+        finally:
+            runner.close()
+        print(result.describe())
+        if runner.last_session is not None:
+            print(f"{runner.last_session.describe()} "
+                  f"[campaign {runner.campaign_id}]", file=sys.stderr)
+        _write_json_out(result, args.json_out)
+        return 0 if not result.all_reports() else 1
 
     campaign = B3Campaign(config)
-    result = campaign.run(progress=show_progress if args.progress else None)
+    result = campaign.run(progress=progress)
     # describe() already includes the recording/dedup summary line whenever
     # prefix sharing or cross-workload dedup actually did something.
     print(result.describe())
@@ -236,7 +317,90 @@ def cmd_campaign(args) -> int:
             f"wall clock {campaign.last_run.wall_clock_seconds:.2f}s",
             file=sys.stderr,
         )
+    _write_json_out(result, args.json_out)
     return 0 if not result.all_reports() else 1
+
+
+def cmd_submit(args) -> int:
+    config = _campaign_config(args)
+    with CampaignService(args.state_db) as service:
+        campaign_id = service.submit(
+            CampaignRequest(config=config, tenant=args.tenant, name=args.name or "")
+        )
+        status = service.status(campaign_id)
+    print(campaign_id)
+    print(f"queued: {status.describe()}", file=sys.stderr)
+    return 0
+
+
+def cmd_serve(args) -> int:
+    def narrate(tenant: str, campaign_id: str, completed: bool) -> None:
+        state = "completed" if completed else "slice done, requeued"
+        print(f"  [{tenant}] {campaign_id}: {state}", file=sys.stderr)
+
+    with CampaignService(
+        args.state_db,
+        processes=args.processes,
+        slice_chunks=args.slice_chunks,
+        progress=_print_progress if args.progress else None,
+        on_slice=narrate,
+    ) as service:
+        served = service.serve(max_slices=args.max_slices)
+        print(f"served {served} slice(s)")
+        for usage in service.tenant_usage().values():
+            print(usage.describe())
+    return 0
+
+
+def cmd_status(args) -> int:
+    with CampaignStateDB(args.state_db) as db:
+        if args.campaign_id:
+            rows = [db.status(args.campaign_id)]
+        else:
+            rows = db.statuses(args.tenant)
+        for status in rows:
+            print(status.describe())
+        if not rows:
+            print("no campaigns in the state store")
+        if args.usage:
+            print("tenant usage:")
+            for usage in db.tenant_usage():
+                print("  " + usage.describe())
+    return 0
+
+
+def cmd_resume(args) -> int:
+    runner = DurableCampaignRunner.from_db(
+        args.state_db, args.campaign_id, processes=args.processes
+    )
+    try:
+        result = runner.run(progress=_print_progress if args.progress else None)
+    finally:
+        runner.close()
+    if result is None:  # pragma: no cover - run() without max_chunks completes
+        print(f"campaign {args.campaign_id} still has pending chunks", file=sys.stderr)
+        return 1
+    print(result.describe())
+    if runner.last_session is not None:
+        print(runner.last_session.describe(), file=sys.stderr)
+    return 0
+
+
+def cmd_results(args) -> int:
+    with CampaignStateDB(args.state_db) as db:
+        status = db.status(args.campaign_id)
+        if not status.complete:
+            print(
+                f"error: campaign {args.campaign_id} is {status.status} "
+                f"({status.chunks_done}/{status.chunks_total} chunks done); "
+                f"run `repro-b3 resume` to finish it",
+                file=sys.stderr,
+            )
+            return 2
+        result = db.campaign_result(args.campaign_id)
+    print(result.describe())
+    _write_json_out(result, args.json_out)
+    return 0
 
 
 def cmd_reproduce(args) -> int:
@@ -287,22 +451,69 @@ def build_parser() -> argparse.ArgumentParser:
     _add_check_selection_args(test)
 
     campaign = sub.add_parser("campaign", help="generate and test a bounded workload space")
-    campaign.add_argument("--filesystem", "-f", default="btrfs", choices=_fs_choices())
-    campaign.add_argument("--preset", choices=sorted(_BOUND_PRESETS), default="seq-1")
-    campaign.add_argument("--seq-length", type=int, default=1)
-    campaign.add_argument("--limit", type=int, default=None)
-    campaign.add_argument("--sample", action="store_true",
-                          help="spread --limit workloads over the whole space")
-    campaign.add_argument("--patched", action="store_true")
-    campaign.add_argument("--processes", "-j", type=_positive_int, default=1,
-                          help="worker processes for the engine's process-pool backend")
-    campaign.add_argument("--chunk-size", type=_positive_int, default=None,
-                          help="workloads per dispatched chunk (default: engine default)")
+    _add_campaign_space_args(campaign)
     campaign.add_argument("--progress", action="store_true",
                           help="print a progress line per completed chunk")
-    _add_crash_plan_args(campaign)
-    _add_recording_args(campaign)
-    _add_check_selection_args(campaign)
+    campaign.add_argument("--json-out", metavar="PATH", default=None,
+                          help="also write the full campaign result as JSON to PATH")
+    campaign.add_argument("--durable", action="store_true",
+                          help="run against a campaign state store: completed chunks "
+                               "are committed as they land and an interrupted run "
+                               "resumes from its last completed chunk (see `resume`)")
+    campaign.add_argument("--state-db", metavar="PATH", default=None,
+                          help="path of the sqlite campaign state store (with --durable)")
+    campaign.add_argument("--campaign-id", default=None,
+                          help="state-store id of this campaign (default: derived "
+                               "from the configuration, so identical invocations resume "
+                               "each other)")
+    campaign.add_argument("--tenant", default="default",
+                          help="tenant the durable campaign is accounted to")
+
+    submit = sub.add_parser("submit", help="queue a campaign into a state store "
+                                           "(run it with `serve` or `resume`)")
+    submit.add_argument("--state-db", metavar="PATH", required=True,
+                        help="path of the sqlite campaign state store")
+    submit.add_argument("--tenant", default="default",
+                        help="tenant to account the campaign to")
+    submit.add_argument("--name", default=None,
+                        help="campaign id (default: auto-assigned <tenant>-c<N>)")
+    _add_campaign_space_args(submit)
+
+    serve = sub.add_parser("serve", help="drain a state store's campaign queue, "
+                                         "tenant-fairly, over a shared worker fleet")
+    serve.add_argument("--state-db", metavar="PATH", required=True)
+    serve.add_argument("--processes", "-j", type=_positive_int, default=1,
+                       help="shared worker-fleet size every campaign slice runs on")
+    serve.add_argument("--slice-chunks", type=_positive_int, default=4,
+                       help="chunks per scheduling slice (the fairness quantum)")
+    serve.add_argument("--max-slices", type=_positive_int, default=None,
+                       help="stop after N slices (default: drain the queue)")
+    serve.add_argument("--progress", action="store_true",
+                       help="print a progress line per completed chunk")
+
+    status = sub.add_parser("status", help="show campaign progress in a state store")
+    status.add_argument("--state-db", metavar="PATH", required=True)
+    status.add_argument("campaign_id", nargs="?", default=None,
+                        help="show one campaign (default: all)")
+    status.add_argument("--tenant", default=None, help="only this tenant's campaigns")
+    status.add_argument("--usage", action="store_true",
+                        help="also print per-tenant fleet usage accounting")
+
+    resume = sub.add_parser("resume", help="recover and finish an interrupted "
+                                           "durable campaign")
+    resume.add_argument("--state-db", metavar="PATH", required=True)
+    resume.add_argument("campaign_id")
+    resume.add_argument("--processes", "-j", type=_positive_int, default=None,
+                        help="worker processes for this session (default: the "
+                             "campaign's own configuration)")
+    resume.add_argument("--progress", action="store_true",
+                        help="print a progress line per completed chunk")
+
+    results = sub.add_parser("results", help="print a finished durable campaign's result")
+    results.add_argument("--state-db", metavar="PATH", required=True)
+    results.add_argument("campaign_id")
+    results.add_argument("--json-out", metavar="PATH", default=None,
+                         help="also write the full campaign result as JSON to PATH")
 
     reproduce = sub.add_parser("reproduce", help="replay a bug from the known-bug database")
     reproduce.add_argument("bug_id", help="e.g. known-5 or new-1")
@@ -325,6 +536,11 @@ _COMMANDS = {
     "generate": cmd_generate,
     "test": cmd_test,
     "campaign": cmd_campaign,
+    "submit": cmd_submit,
+    "serve": cmd_serve,
+    "status": cmd_status,
+    "resume": cmd_resume,
+    "results": cmd_results,
     "reproduce": cmd_reproduce,
 }
 

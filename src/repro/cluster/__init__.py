@@ -5,6 +5,7 @@ from .runner import ClusterRunner, ClusterRunResult, VmStats
 from .scheduler import (
     ClusterSpec,
     DeploymentEstimate,
+    FairScheduler,
     estimate_campaign_hours,
     estimate_deployment,
     partition,
@@ -12,6 +13,7 @@ from .scheduler import (
 
 __all__ = [
     "ClusterSpec",
+    "FairScheduler",
     "partition",
     "DeploymentEstimate",
     "estimate_deployment",

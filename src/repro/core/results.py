@@ -41,6 +41,77 @@ class CampaignResult:
         """
         self.results.extend(results)
 
+    # -- serialization (campaign state store / --json-out) -----------------------
+
+    def to_dict(self) -> dict:
+        """JSON-ready view of the full campaign outcome.
+
+        ``results`` round-trips byte-for-byte via
+        :meth:`CrashTestResult.to_dict`; the ``derived`` block repeats the
+        headline aggregates for consumers that only read the summary (it is
+        ignored by :meth:`from_dict`, which recomputes everything from the
+        raw results).
+        """
+        return {
+            "fs_name": self.fs_name,
+            "fs_model": self.fs_model,
+            "label": self.label,
+            "generation_seconds": self.generation_seconds,
+            "testing_seconds": self.testing_seconds,
+            "invalid_workloads": self.invalid_workloads,
+            "results": [result.to_dict() for result in self.results],
+            "derived": {
+                "workloads_tested": self.workloads_tested,
+                "crash_points_tested": self.crash_points_tested,
+                "failing_workloads": self.failing_workloads,
+                "raw_reports": len(self.all_reports()),
+                "report_groups": len(self.grouped_reports()),
+                "deduped_scenarios": self.deduped_scenarios,
+                "cross_deduped_scenarios": self.cross_deduped_scenarios,
+                "prefix_hits": self.prefix_hits,
+                "replay_hits": self.replay_hits,
+            },
+        }
+
+    def canonical_dict(self) -> dict:
+        """Schedule-invariant view: what was tested, not how the run went.
+
+        Drops wall-clock timings and the sharing telemetry (see
+        :attr:`CrashTestResult.SESSION_FIELDS`) — those depend on harness
+        lifetimes, so an interrupted-and-resumed campaign or a different
+        chunk->worker assignment legitimately reports different values.
+        Everything that remains is identical across schedules; the
+        crash-resume tests and the CI smoke compare exactly this payload.
+        """
+        return {
+            "fs_name": self.fs_name,
+            "fs_model": self.fs_model,
+            "label": self.label,
+            "invalid_workloads": self.invalid_workloads,
+            "results": [result.canonical_dict() for result in self.results],
+            "derived": {
+                "workloads_tested": self.workloads_tested,
+                "crash_points_tested": self.crash_points_tested,
+                "failing_workloads": self.failing_workloads,
+                "raw_reports": len(self.all_reports()),
+                "report_groups": len(self.grouped_reports()),
+                "deduped_scenarios": self.deduped_scenarios,
+                "cross_deduped_scenarios": self.cross_deduped_scenarios,
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "CampaignResult":
+        return cls(
+            fs_name=payload["fs_name"],
+            fs_model=payload["fs_model"],
+            label=payload.get("label", ""),
+            results=[CrashTestResult.from_dict(r) for r in payload.get("results", [])],
+            generation_seconds=payload.get("generation_seconds", 0.0),
+            testing_seconds=payload.get("testing_seconds", 0.0),
+            invalid_workloads=payload.get("invalid_workloads", 0),
+        )
+
     # -- aggregation ------------------------------------------------------------
 
     @property

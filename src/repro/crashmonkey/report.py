@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import ClassVar, Dict, List, Optional, Tuple
 
 from ..fs.bugs import Consequence
 from ..workload.workload import Workload
@@ -100,6 +100,29 @@ class Mismatch:
             f"    actual:   {self.actual}"
         )
 
+    # -- serialization (campaign state store / --json-out) -------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "check": self.check,
+            "consequence": self.consequence,
+            "path": self.path,
+            "expected": self.expected,
+            "actual": self.actual,
+            "scenario": self.scenario,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "Mismatch":
+        return cls(
+            check=payload["check"],
+            consequence=payload["consequence"],
+            path=payload["path"],
+            expected=payload["expected"],
+            actual=payload["actual"],
+            scenario=payload.get("scenario", ""),
+        )
+
 
 #: Legacy ordering used to pick the "primary" consequence of a report (most
 #: severe first).  Kept for backwards compatibility; :class:`Severity` is the
@@ -158,6 +181,35 @@ class BugReport:
     def group_key(self) -> Tuple:
         """Key used by the Figure-5 post-processing (skeleton + consequence)."""
         return (self.skeleton(), self.consequence)
+
+    # -- serialization (campaign state store / --json-out) -------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "workload": self.workload.to_json(),
+            "fs_type": self.fs_type,
+            "fs_model": self.fs_model,
+            "checkpoint_id": self.checkpoint_id,
+            "crash_point": self.crash_point,
+            "mismatches": [mismatch.to_dict() for mismatch in self.mismatches],
+            "kernel_version": self.kernel_version,
+            "scenario": self.scenario,
+            "notes": self.notes,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "BugReport":
+        return cls(
+            workload=Workload.from_json(payload["workload"]),
+            fs_type=payload["fs_type"],
+            fs_model=payload["fs_model"],
+            checkpoint_id=payload["checkpoint_id"],
+            crash_point=payload["crash_point"],
+            mismatches=[Mismatch.from_dict(m) for m in payload.get("mismatches", [])],
+            kernel_version=payload.get("kernel_version", "4.16"),
+            scenario=payload.get("scenario", "prefix"),
+            notes=payload.get("notes", ""),
+        )
 
     def summary(self) -> str:
         tag = "" if self.scenario == "prefix" else f" [{self.scenario}]"
@@ -272,6 +324,75 @@ class CrashTestResult:
 
     def consequences(self) -> Tuple[str, ...]:
         return tuple(sorted({report.consequence for report in self.bug_reports}))
+
+    # -- serialization (campaign state store / --json-out) -------------------
+
+    #: scalar fields copied verbatim by the JSON round-trip; every field
+    #: except the three with structured payloads (workload, bug_reports,
+    #: check_timings) must appear here — ``test_report_serialization``
+    #: asserts the list matches the dataclass, so adding a counter without
+    #: extending the round-trip fails loudly instead of silently dropping it
+    SCALAR_FIELDS: ClassVar[Tuple[str, ...]] = (
+        "fs_type", "fs_model", "checkpoints_tested", "scenarios_tested",
+        "deduped_scenarios", "cross_deduped_scenarios",
+        "profile_seconds", "replay_seconds", "mount_seconds", "fsck_seconds",
+        "check_seconds", "replayed_write_requests",
+        "recorded_requests", "recorded_bytes", "crash_state_overlay_bytes",
+        "executed_ops", "skipped_ops",
+        "prefix_shared", "prefix_ops_reused", "prefix_writes_reused",
+        "prefix_seconds_saved",
+        "replay_shared", "replay_writes_reused", "replay_seconds_saved",
+    )
+
+    #: fields that describe *how this session happened to run*, not what was
+    #: tested: wall-clock timings, and the prefix/replay sharing telemetry,
+    #: which depends on which workloads shared a harness (chunk -> worker
+    #: assignment under a pool, session boundaries under a durable resume).
+    #: ``canonical_dict`` drops these so "same campaign" can be compared
+    #: across schedules; everything else — reports, scenario and dedup
+    #: counts, recorded profiles — is schedule-invariant.
+    SESSION_FIELDS: ClassVar[Tuple[str, ...]] = (
+        "profile_seconds", "replay_seconds", "mount_seconds", "fsck_seconds",
+        "check_seconds", "replayed_write_requests",
+        "prefix_shared", "prefix_ops_reused", "prefix_writes_reused",
+        "prefix_seconds_saved",
+        "replay_shared", "replay_writes_reused", "replay_seconds_saved",
+    )
+
+    def to_dict(self) -> dict:
+        payload = {name: getattr(self, name) for name in self.SCALAR_FIELDS}
+        payload["workload"] = self.workload.to_json()
+        payload["bug_reports"] = [report.to_dict() for report in self.bug_reports]
+        payload["check_timings"] = dict(self.check_timings)
+        return payload
+
+    def canonical_dict(self) -> dict:
+        """``to_dict`` minus session-dependent telemetry (see SESSION_FIELDS).
+
+        Two runs of the same campaign — uninterrupted, resumed after a
+        crash, serial or pooled — agree on this payload.
+        """
+        payload = self.to_dict()
+        for name in self.SESSION_FIELDS:
+            payload.pop(name, None)
+        payload.pop("check_timings", None)
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "CrashTestResult":
+        result = cls(
+            workload=Workload.from_json(payload["workload"]),
+            fs_type=payload["fs_type"],
+            fs_model=payload["fs_model"],
+            bug_reports=[BugReport.from_dict(r) for r in payload.get("bug_reports", [])],
+            check_timings=dict(payload.get("check_timings", {})),
+        )
+        for name in cls.SCALAR_FIELDS:
+            if name in ("fs_type", "fs_model"):
+                continue
+            if name in payload:
+                setattr(result, name, payload[name])
+        return result
 
     def summary(self) -> str:
         status = "PASS" if self.passed else "FAIL"

@@ -23,7 +23,14 @@ from ..core.results import CampaignResult
 from ..crashmonkey.recorder import default_share_prefixes
 from ..fs.registry import models, resolve_fs_name
 from ..workload.workload import Workload
-from .backends import ChunkStats, ExecutionBackend, SerialBackend, make_backend
+from .backends import (
+    ChunkOutcome,
+    ChunkStats,
+    ExecutionBackend,
+    IndexedChunk,
+    SerialBackend,
+    make_backend,
+)
 from .spec import HarnessSpec
 from .stream import TimedIterator, chunked, chunked_affine
 
@@ -43,9 +50,33 @@ class ProgressEvent:
     generated: int
     elapsed_seconds: float
     chunk: ChunkStats
+    #: total chunks/workloads of the whole campaign, when known upfront (the
+    #: durable runner registers the full chunk census before dispatching;
+    #: streaming runs leave these ``None`` — the space is never materialized)
+    chunks_total: Optional[int] = None
+    workloads_total: Optional[int] = None
+    #: workloads completed in this session (== ``workloads_done`` except on a
+    #: resumed durable run, where ``workloads_done`` includes prior sessions)
+    session_workloads: int = 0
+
+    @property
+    def workloads_per_second(self) -> float:
+        """Throughput of this session so far (0.0 before the clock moves)."""
+        if self.elapsed_seconds <= 0.0:
+            return 0.0
+        return self.session_workloads / self.elapsed_seconds
+
+    @property
+    def eta_seconds(self) -> Optional[float]:
+        """Projected seconds to campaign completion (None when unknowable)."""
+        rate = self.workloads_per_second
+        if self.workloads_total is None or rate <= 0.0:
+            return None
+        return max(self.workloads_total - self.workloads_done, 0) / rate
 
 
 ProgressCallback = Callable[[ProgressEvent], None]
+OutcomeCallback = Callable[[ChunkOutcome], None]
 
 
 @dataclass
@@ -128,13 +159,51 @@ class CampaignEngine:
         run.result.testing_seconds = run.wall_clock_seconds
         return run
 
+    def run_indexed(self, chunks: Iterable[IndexedChunk], label: str = "",
+                    on_outcome: Optional[OutcomeCallback] = None,
+                    chunks_total: Optional[int] = None,
+                    workloads_total: Optional[int] = None,
+                    chunks_done_offset: int = 0,
+                    workloads_done_offset: int = 0,
+                    failing_offset: int = 0) -> EngineRun:
+        """Run explicitly indexed chunks, observing each outcome as it lands.
+
+        This is the durable runner's entry point: chunk indices are assigned
+        by the caller (so a resumed campaign dispatches only its pending
+        indices and the sparse index set still reassembles in stream order),
+        ``on_outcome`` fires with the full :class:`ChunkOutcome` — results
+        included — *before* any progress callback, so the state store commits
+        a chunk before the world hears about it, and the ``*_offset`` /
+        ``*_total`` values let progress events report campaign-wide position
+        (chunks done / total, ETA) instead of session-local counts.
+        """
+        run = self._execute(
+            iter(chunks), label, source=None, on_outcome=on_outcome,
+            chunks_total=chunks_total, workloads_total=workloads_total,
+            chunks_done_offset=chunks_done_offset,
+            workloads_done_offset=workloads_done_offset,
+            failing_offset=failing_offset,
+        )
+        run.result.testing_seconds = run.wall_clock_seconds
+        return run
+
     def _execute(self, stream, label: str,
-                 source: Optional[TimedIterator]) -> EngineRun:
+                 source: Optional[TimedIterator],
+                 on_outcome: Optional[OutcomeCallback] = None,
+                 chunks_total: Optional[int] = None,
+                 workloads_total: Optional[int] = None,
+                 chunks_done_offset: int = 0,
+                 workloads_done_offset: int = 0,
+                 failing_offset: int = 0) -> EngineRun:
         result = CampaignResult(fs_name=self.fs_name, fs_model=self.fs_model, label=label)
         run = EngineRun(result=result)
         chunk_results: List[List] = []  # completion-ordered, parallel to run.chunks
         start = time.perf_counter()
         for outcome in self.backend.execute(self.spec, stream):
+            if on_outcome is not None:
+                # Persistence hook: runs before aggregation and progress so a
+                # durable campaign commits the chunk before reporting it.
+                on_outcome(outcome)
             result.ingest_many(outcome.results)
             stats = outcome.stats()
             run.chunks.append(stats)
@@ -143,12 +212,15 @@ class CampaignEngine:
             if self.progress is not None:
                 self.progress(
                     ProgressEvent(
-                        chunks_done=len(run.chunks),
-                        workloads_done=result.workloads_tested,
-                        failing_workloads=result.failing_workloads,
+                        chunks_done=len(run.chunks) + chunks_done_offset,
+                        workloads_done=result.workloads_tested + workloads_done_offset,
+                        failing_workloads=result.failing_workloads + failing_offset,
                         generated=source.count if source is not None else result.workloads_tested,
                         elapsed_seconds=time.perf_counter() - start,
                         chunk=stats,
+                        chunks_total=chunks_total,
+                        workloads_total=workloads_total,
+                        session_workloads=result.workloads_tested,
                     )
                 )
         run.wall_clock_seconds = time.perf_counter() - start

@@ -1,0 +1,41 @@
+"""Durable, resumable, multi-tenant campaign runs (campaign-as-a-service).
+
+The layers, bottom up:
+
+* :mod:`repro.service.api` — the plain-data surface: requests, status and
+  usage views, and the :class:`~repro.core.campaign.CampaignConfig` codec.
+* :mod:`repro.service.statedb` — :class:`CampaignStateDB`, the sqlite state
+  store with the pending -> processing -> done chunk lifecycle,
+  ``recover_from_crash()`` and dedup-at-write result ingest.
+* :mod:`repro.service.runner` — :class:`DurableCampaignRunner`, the engine
+  wrapper that makes one campaign crash-survivable with exactly-once chunks
+  and resume-identical final reports.
+* :mod:`repro.service.service` — :class:`CampaignService`, tenant-fair
+  scheduling of many durable campaigns over one shared worker fleet.
+"""
+
+from .api import (
+    CampaignRequest,
+    CampaignStatus,
+    SessionStats,
+    TenantUsage,
+    config_from_dict,
+    config_to_dict,
+)
+from .runner import DurableCampaignRunner, chunk_identity, default_campaign_id
+from .service import CampaignService
+from .statedb import CampaignStateDB
+
+__all__ = [
+    "CampaignRequest",
+    "CampaignStatus",
+    "SessionStats",
+    "TenantUsage",
+    "config_to_dict",
+    "config_from_dict",
+    "CampaignStateDB",
+    "DurableCampaignRunner",
+    "chunk_identity",
+    "default_campaign_id",
+    "CampaignService",
+]

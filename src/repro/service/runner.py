@@ -1,0 +1,267 @@
+"""Durable campaign execution.
+
+``DurableCampaignRunner`` wraps the streaming engine with the state store so
+a campaign survives the death of the process running it:
+
+* **Deterministic chunk census.**  The workload stream (synthesizer ->
+  adapter -> prefix-affine chunker) is deterministic per config, so chunks
+  can be enumerated identically in every session.  Each chunk's identity is
+  a digest over its members' :meth:`~repro.workload.workload.Workload.prefix_key`
+  — content-derived, so a drifted config (different bounds, different ops)
+  is detected as a key mismatch instead of silently mixing result sets.
+  Registration happens in the same generation pass that dispatches work
+  (register, then claim-or-skip, chunk by chunk), and a session that hits
+  its slice quota keeps draining the stream so the census still completes —
+  from then on totals are served from the store.  Chunking stays
+  prefix-affine, so a resumed session keeps whole ACE sibling families on
+  one worker and loses none of the prefix/replay sharing.
+* **Crash recovery.**  Every session starts with
+  :meth:`~repro.service.statedb.CampaignStateDB.recover_from_crash` (orphaned
+  ``processing`` chunks go back to ``pending``), skips chunks already
+  ``done``, and dispatches only the remainder.  Completed chunks commit
+  atomically before the progress callback fires, so the store never claims
+  more than actually happened.
+* **Identical final reports.**  The aggregate result is reconstructed from
+  the store in stream order, so an interrupted-and-resumed campaign yields
+  the same reports, scenario totals and dedup counters as an uninterrupted
+  run — under the serial and the process-pool backend alike.
+
+The runner honours one fault-injection hook, in the spirit of a tester that
+must survive its own medicine: ``REPRO_SELFCRASH_AFTER_CHUNKS=N`` SIGKILLs
+the process after the Nth chunk of the session is durably ingested.  The
+crash-resume tests and the CI smoke job interrupt real campaigns with it.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import hashlib
+import os
+import signal
+from typing import Iterator, List, Optional, Tuple
+
+from ..ace.adapter import CrashMonkeyAdapter
+from ..core.campaign import B3Campaign, CampaignConfig
+from ..core.results import CampaignResult
+from ..engine.backends import ChunkOutcome, make_backend
+from ..engine.engine import (
+    DEFAULT_CHUNK_SIZE,
+    CampaignEngine,
+    ProgressCallback,
+)
+from ..engine.stream import TimedIterator
+from ..workload.workload import Workload
+from . import api
+from .api import SessionStats, config_to_dict
+from .statedb import CampaignStateDB
+
+#: Fault-injection hook: SIGKILL the process after this many durable ingests.
+SELFCRASH_ENV = "REPRO_SELFCRASH_AFTER_CHUNKS"
+
+
+def chunk_identity(chunk: List[Workload]) -> str:
+    """Stable content id of a chunk: digest of its members' prefix keys."""
+    hasher = hashlib.sha1()
+    for workload in chunk:
+        hasher.update(workload.prefix_key().encode("ascii"))
+    return hasher.hexdigest()[:16]
+
+
+def default_campaign_id(tenant: str, config: CampaignConfig) -> str:
+    """Deterministic id for ad-hoc durable runs (CLI ``campaign --durable``).
+
+    Derived from tenant + full config, so re-invoking the same command
+    resumes the same campaign instead of starting a parallel twin.
+    """
+    import json
+
+    digest = hashlib.sha1(
+        (tenant + "\x00" + json.dumps(config_to_dict(config), sort_keys=True)).encode("utf-8")
+    ).hexdigest()
+    return f"dur-{digest[:12]}"
+
+
+class DurableCampaignRunner:
+    """Run a campaign against a state store; resumable, exactly-once chunks."""
+
+    def __init__(self, config: CampaignConfig, state_db: "CampaignStateDB | str",
+                 campaign_id: Optional[str] = None, tenant: str = "default",
+                 processes: Optional[int] = None):
+        """
+        Args:
+            config: the campaign to run (persisted verbatim in the store).
+            state_db: a :class:`CampaignStateDB` or a path to open one at.
+            campaign_id: store key; defaults to a deterministic digest of
+                tenant + config so identical invocations resume each other.
+            processes: worker-fleet size override for *this* session (the
+                service schedules many campaigns onto one shared fleet);
+                ``None`` follows ``config.processes``.  Only the persisted
+                config determines campaign identity.
+        """
+        self.config = config
+        self.tenant = tenant
+        if isinstance(state_db, CampaignStateDB):
+            self.db = state_db
+            self._owns_db = False
+        else:
+            self.db = CampaignStateDB(state_db)
+            self._owns_db = True
+        self.campaign_id = campaign_id or default_campaign_id(tenant, config)
+        self.processes = processes if processes is not None else config.processes
+        self._campaign = B3Campaign(config)
+        #: audit trail of the most recent :meth:`run` session
+        self.last_session: Optional[SessionStats] = None
+        self._selfcrash_after = int(os.environ.get(SELFCRASH_ENV, "0") or "0")
+
+    @classmethod
+    def from_db(cls, state_db: "CampaignStateDB | str", campaign_id: str,
+                processes: Optional[int] = None) -> "DurableCampaignRunner":
+        """Rebuild a runner purely from the store (the resume/service path)."""
+        db = state_db if isinstance(state_db, CampaignStateDB) else CampaignStateDB(state_db)
+        row = db.campaign_row(campaign_id)
+        config = api.config_from_dict(db.load_config(campaign_id))
+        runner = cls(config, db, campaign_id=campaign_id, tenant=row["tenant"],
+                     processes=processes)
+        runner._owns_db = not isinstance(state_db, CampaignStateDB)
+        return runner
+
+    def close(self) -> None:
+        if self._owns_db:
+            self.db.close()
+
+    # ------------------------------------------------------------ enumeration
+
+    def _chunk_engine(self, progress: Optional[ProgressCallback], spec) -> CampaignEngine:
+        chunk_size = (self.config.chunk_size if self.config.chunk_size is not None
+                      else DEFAULT_CHUNK_SIZE)
+        return CampaignEngine(
+            spec,
+            backend=make_backend(self.processes),
+            chunk_size=chunk_size,
+            progress=progress,
+        )
+
+    def _workload_chunks(
+        self, engine: CampaignEngine, adapter: CrashMonkeyAdapter,
+    ) -> Tuple[Iterator[List[Workload]], TimedIterator]:
+        """One deterministic pass over the campaign's chunked workload stream."""
+        timed = TimedIterator(adapter.adapt_stream(self._campaign.iter_workloads()))
+        return engine._chunked(timed), timed
+
+    # -------------------------------------------------------------- execution
+
+    def run(self, progress: Optional[ProgressCallback] = None,
+            max_chunks: Optional[int] = None) -> Optional[CampaignResult]:
+        """Run (or resume) the campaign; returns the result once complete.
+
+        ``max_chunks`` bounds this session to a scheduling *slice*: at most
+        that many pending chunks are dispatched and the campaign is left
+        resumable.  Returns ``None`` while work remains, the fully
+        reconstructed :class:`CampaignResult` once every chunk is done —
+        including when a previous session already finished everything (then
+        this session executes zero chunks and just reconstructs).
+        """
+        db, campaign_id = self.db, self.campaign_id
+        session = SessionStats()
+        self.last_session = session
+
+        db.create_campaign(
+            campaign_id,
+            config_to_dict(self.config),
+            tenant=self.tenant,
+            label=self._campaign.bounds.label or f"seq-{self._campaign.bounds.seq_length}",
+            fs_name=self._campaign.fs_name,
+            fs_model=self._campaign.fs_model,
+        )
+        session.chunks_recovered = db.recover_from_crash(campaign_id)
+        db.set_status(campaign_id, api.RUNNING)
+
+        # One generation pass serves both enumeration and dispatch: chunks
+        # are registered in the store as the stream produces them (the
+        # census), and pending ones are claimed and yielded to the engine in
+        # the same sweep.  Once any session has drained the full stream the
+        # campaign's totals are durable, so every later session gets
+        # chunk/workload totals (and the CLI an ETA) without re-enumerating.
+        done = db.done_chunk_indices(campaign_id)
+        session.chunks_skipped = len(done)
+        chunks_total = workloads_total = None
+        if db.census_complete(campaign_id):
+            chunks_total, workloads_total = db.chunk_totals(campaign_id)
+            if len(done) == chunks_total:
+                # Everything already ran; reconstruct without touching the
+                # synthesizer or building a harness.
+                db.set_status(campaign_id, api.DONE)
+                return db.campaign_result(campaign_id)
+        done_workloads = db.chunk_states(campaign_id).get(api.CHUNK_DONE, (0, 0))[1]
+        failing_offset = db.status(campaign_id).failing_workloads
+
+        with contextlib.ExitStack() as stack:
+            spec = self._campaign._run_spec(stack)
+            engine = self._chunk_engine(progress, spec)
+
+            def pending_chunks():
+                adapter = CrashMonkeyAdapter(self._campaign.fs_name)
+                chunks, timed = self._workload_chunks(engine, adapter)
+                for index, chunk in enumerate(chunks):
+                    db.register_chunks(
+                        campaign_id, [(index, chunk_identity(chunk), len(chunk))]
+                    )
+                    if index in done:
+                        continue
+                    if max_chunks is not None and session.chunks_executed >= max_chunks:
+                        # Slice quota reached: stop dispatching but keep
+                        # draining the stream so the census completes.
+                        continue
+                    db.claim_chunk(campaign_id, index)
+                    session.chunks_executed += 1
+                    session.workloads_executed += len(chunk)
+                    yield (index, chunk)
+                db.record_enumeration(campaign_id, adapter.invalid_workloads,
+                                      timed.seconds)
+                db.mark_census_complete(campaign_id)
+
+            ingested = 0
+
+            def on_outcome(outcome: ChunkOutcome) -> None:
+                nonlocal ingested
+                if db.ingest_outcome(campaign_id, outcome):
+                    ingested += 1
+                else:
+                    session.duplicate_ingests += 1
+                if self._selfcrash_after and ingested >= self._selfcrash_after:
+                    # Fault injection: die the hard way, mid-campaign, with
+                    # chunks still in flight — exactly what recovery is for.
+                    os.kill(os.getpid(), signal.SIGKILL)
+
+            run = engine.run_indexed(
+                pending_chunks(),
+                label=self._campaign.bounds.label,
+                on_outcome=on_outcome,
+                chunks_total=chunks_total,
+                workloads_total=workloads_total,
+                chunks_done_offset=len(done),
+                workloads_done_offset=done_workloads,
+                failing_offset=failing_offset,
+            )
+            db.add_testing_seconds(campaign_id, run.wall_clock_seconds)
+
+        if not db.census_complete(campaign_id):  # pragma: no cover - drain
+            return None                          # always finishes in-process
+        states = db.chunk_states(campaign_id)
+        remaining = (states.get(api.PENDING, (0, 0))[0]
+                     + states.get(api.PROCESSING, (0, 0))[0])
+        if remaining:
+            return None
+        db.set_status(campaign_id, api.DONE)
+        if not done and session.duplicate_ingests == 0 and max_chunks is None:
+            # This session tested every chunk, in stream order: the engine's
+            # in-memory aggregate already equals the store reconstruction, so
+            # skip the round-trip through JSON (it is the dominant cost of
+            # durability on fast campaigns).  The crash-resume tests pin the
+            # two payloads to each other.
+            result = run.result
+            row = db.campaign_row(campaign_id)
+            result.generation_seconds = row["generation_seconds"]
+            result.invalid_workloads = row["invalid_workloads"]
+            return result
+        return db.campaign_result(campaign_id)

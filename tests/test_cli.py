@@ -165,3 +165,109 @@ class TestCrashPlanFlags:
             main(["test", str(workload_file), "--crash-plan", "chaos"])
         with pytest.raises(SystemExit):
             main(["test", str(workload_file), "--reorder-bound", "0"])
+
+
+class TestCampaignServiceCommands:
+    CAMPAIGN = ["--preset", "seq-1", "--limit", "12", "--chunk-size", "4"]
+
+    def test_durable_requires_state_db(self, capsys):
+        assert main(["campaign", "--durable", *self.CAMPAIGN]) == 2
+        assert "--state-db" in capsys.readouterr().err
+
+    def test_durable_campaign_runs_and_reruns(self, tmp_path, capsys):
+        db = str(tmp_path / "state.sqlite")
+        args = ["campaign", "--durable", "--state-db", db, *self.CAMPAIGN]
+        assert main(args) == 0
+        err = capsys.readouterr().err
+        assert "0 already done" in err
+        # Same invocation resumes the same campaign: everything is done.
+        assert main(args) == 0
+        err = capsys.readouterr().err
+        assert "0 chunks executed" in err
+        assert "3 already done" in err
+
+    def test_json_out_round_trips(self, tmp_path, capsys):
+        import json as json_module
+
+        from repro.core.results import CampaignResult
+
+        out = tmp_path / "result.json"
+        assert main(["campaign", *self.CAMPAIGN, "--json-out", str(out)]) == 0
+        capsys.readouterr()
+        payload = json_module.loads(out.read_text())
+        assert CampaignResult.from_dict(payload).workloads_tested == 12
+        assert payload["derived"]["workloads_tested"] == 12
+
+    def test_progress_flag_reports_throughput_on_a_fresh_run(self, tmp_path, capsys):
+        db = str(tmp_path / "state.sqlite")
+        assert main(["campaign", "--durable", "--state-db", db, "--progress",
+                     *self.CAMPAIGN]) == 0
+        err = capsys.readouterr().err
+        # The first session discovers the census as it streams, so it knows
+        # rates but no totals (and hence no ETA) — like the bare engine.
+        assert "chunk 1:" in err
+        assert "workloads/s" in err
+        assert "ETA" not in err
+
+    def test_progress_totals_and_eta_once_the_census_is_stored(self, tmp_path, capsys):
+        db = str(tmp_path / "state.sqlite")
+        main(["submit", "--state-db", db, "--name", "prog", *self.CAMPAIGN])
+        main(["serve", "--state-db", db, "--slice-chunks", "1", "--max-slices", "1"])
+        capsys.readouterr()
+        # The first slice drained the stream, so the stored census gives the
+        # resume session chunk/workload totals and an ETA.
+        assert main(["resume", "--state-db", db, "prog", "--progress"]) == 0
+        err = capsys.readouterr().err
+        assert "chunk 2/3" in err
+        assert "/12 workloads" in err
+        assert "ETA" in err
+
+    def test_submit_serve_status_results_flow(self, tmp_path, capsys):
+        db = str(tmp_path / "state.sqlite")
+        assert main(["submit", "--state-db", db, "--tenant", "alice",
+                     *self.CAMPAIGN]) == 0
+        captured = capsys.readouterr()
+        campaign_id = captured.out.strip()
+        assert campaign_id == "alice-c1"
+        assert "queued" in captured.err
+
+        assert main(["status", "--state-db", db]) == 0
+        assert "alice-c1" in capsys.readouterr().out
+
+        assert main(["serve", "--state-db", db, "--slice-chunks", "2"]) == 0
+        captured = capsys.readouterr()
+        assert "completed" in captured.err
+        assert "served" in captured.out
+
+        assert main(["status", "--state-db", db, campaign_id, "--usage"]) == 0
+        out = capsys.readouterr().out
+        assert "done" in out
+        assert "tenant usage" in out
+
+        json_out = tmp_path / "r.json"
+        assert main(["results", "--state-db", db, campaign_id,
+                     "--json-out", str(json_out)]) == 0
+        assert json_out.exists()
+
+    def test_results_of_unfinished_campaign_fail(self, tmp_path, capsys):
+        db = str(tmp_path / "state.sqlite")
+        main(["submit", "--state-db", db, "--name", "pending", *self.CAMPAIGN])
+        capsys.readouterr()
+        assert main(["results", "--state-db", db, "pending"]) == 2
+        assert "resume" in capsys.readouterr().err
+
+    def test_resume_finishes_a_served_slice(self, tmp_path, capsys):
+        db = str(tmp_path / "state.sqlite")
+        main(["submit", "--state-db", db, "--name", "halfway", *self.CAMPAIGN])
+        main(["serve", "--state-db", db, "--slice-chunks", "1", "--max-slices", "1"])
+        capsys.readouterr()
+        assert main(["resume", "--state-db", db, "halfway"]) == 0
+        captured = capsys.readouterr()
+        assert "1 already done" in captured.err
+        assert "workloads" in captured.out
+        assert main(["results", "--state-db", db, "halfway"]) == 0
+
+    def test_status_of_empty_store(self, tmp_path, capsys):
+        db = str(tmp_path / "state.sqlite")
+        assert main(["status", "--state-db", db]) == 0
+        assert "no campaigns" in capsys.readouterr().out

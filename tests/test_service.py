@@ -1,0 +1,147 @@
+"""CampaignService: tenant-fair scheduling over one shared worker fleet."""
+
+import pytest
+
+from repro.ace.bounds import Bounds
+from repro.cluster import FairScheduler
+from repro.core.campaign import CampaignConfig
+from repro.service import CampaignRequest, CampaignService, CampaignStateDB
+
+
+# ------------------------------------------------------------- FairScheduler
+
+def test_fair_scheduler_round_robins_tenants():
+    scheduler = FairScheduler()
+    runnable = {"alice": ["a1"], "bob": ["b1"]}
+    picks = [scheduler.pick(runnable)[0] for _ in range(6)]
+    assert picks.count("alice") == 3
+    assert picks.count("bob") == 3
+
+
+def test_fair_scheduler_prefers_least_served():
+    scheduler = FairScheduler()
+    for _ in range(5):
+        assert scheduler.pick({"alice": ["a1"]}) == ("alice", "a1")
+    # Bob shows up late: he is served until he catches up, but from the
+    # current floor — not from zero (a newcomer must not monopolize).
+    picks = [scheduler.pick({"alice": ["a1"], "bob": ["b1"]})[0] for _ in range(4)]
+    assert picks.count("bob") >= 2
+    assert "alice" in picks
+
+
+def test_fair_scheduler_picks_first_runnable_campaign():
+    scheduler = FairScheduler()
+    assert scheduler.pick({"alice": ["a1", "a2"]}) == ("alice", "a1")
+
+
+def test_fair_scheduler_skips_empty_tenants():
+    scheduler = FairScheduler()
+    assert scheduler.pick({"alice": [], "bob": ["b1"]}) == ("bob", "b1")
+    assert scheduler.pick({}) is None
+    assert scheduler.pick({"alice": []}) is None
+
+
+# ----------------------------------------------------------- CampaignService
+
+def _config(limit: int) -> CampaignConfig:
+    return CampaignConfig(fs_name="btrfs",
+                          bounds=Bounds(seq_length=1, label="seq-1"),
+                          max_workloads=limit, chunk_size=4)
+
+
+@pytest.fixture
+def db_path(tmp_path):
+    return str(tmp_path / "service.sqlite")
+
+
+def test_submit_assigns_ids_and_is_durable(db_path):
+    with CampaignService(db_path) as service:
+        first = service.submit(CampaignRequest(config=_config(8), tenant="alice"))
+        second = service.submit(CampaignRequest(config=_config(8), tenant="alice"))
+        named = service.submit(CampaignRequest(config=_config(8), tenant="bob",
+                                               name="bob-nightly"))
+    assert (first, second, named) == ("alice-c1", "alice-c2", "bob-nightly")
+    # Submission survives the service: a fresh one sees the queue.
+    with CampaignService(db_path) as service:
+        ids = [s.campaign_id for s in service.statuses()]
+        assert ids == ["alice-c1", "alice-c2", "bob-nightly"]
+        assert all(s.status == "queued" for s in service.statuses())
+
+
+def test_serve_interleaves_tenants_fairly(db_path):
+    slices = []
+    with CampaignService(db_path, slice_chunks=1,
+                         on_slice=lambda t, c, done: slices.append((t, c))) as service:
+        service.submit(CampaignRequest(config=_config(12), tenant="alice"))
+        service.submit(CampaignRequest(config=_config(12), tenant="bob"))
+        served = service.serve()
+    assert served == len(slices) >= 6
+    # Neither tenant ever gets two more slices than the other.
+    for n in range(1, len(slices) + 1):
+        counts = [t for t, _ in slices[:n]]
+        assert abs(counts.count("alice") - counts.count("bob")) <= 1
+
+
+def test_serve_completes_every_campaign(db_path):
+    with CampaignService(db_path, slice_chunks=2) as service:
+        a = service.submit(CampaignRequest(config=_config(8), tenant="alice"))
+        b = service.submit(CampaignRequest(config=_config(12), tenant="bob"))
+        service.serve()
+        assert service.status(a).complete
+        assert service.status(b).complete
+        result = service.results(b)
+    assert result.workloads_tested == 12
+
+
+def test_serve_respects_max_slices(db_path):
+    with CampaignService(db_path, slice_chunks=1) as service:
+        campaign = service.submit(CampaignRequest(config=_config(12), tenant="alice"))
+        assert service.serve(max_slices=2) == 2
+        status = service.status(campaign)
+        assert not status.complete
+        assert status.chunks_done == 2
+        # The drain is resumable: the rest finishes on the next serve.
+        service.serve()
+        assert service.status(campaign).complete
+
+
+def test_results_before_completion_raise(db_path):
+    with CampaignService(db_path, slice_chunks=1) as service:
+        campaign = service.submit(CampaignRequest(config=_config(12), tenant="alice"))
+        service.serve(max_slices=1)
+        with pytest.raises(ValueError, match="once it is done"):
+            service.results(campaign)
+
+
+def test_tenant_usage_accounts_the_fleet(db_path):
+    with CampaignService(db_path, slice_chunks=4) as service:
+        service.submit(CampaignRequest(config=_config(16), tenant="alice"))
+        service.submit(CampaignRequest(config=_config(8), tenant="bob"))
+        service.serve()
+        usage = service.tenant_usage()
+    assert usage["alice"].workloads == 16
+    assert usage["bob"].workloads == 8
+    assert usage["alice"].campaigns == 1
+    assert usage["alice"].crash_points > 0
+    assert usage["alice"].worker_seconds > 0
+
+
+def test_statuses_filter_by_tenant(db_path):
+    with CampaignService(db_path) as service:
+        service.submit(CampaignRequest(config=_config(8), tenant="alice"))
+        service.submit(CampaignRequest(config=_config(8), tenant="bob"))
+        assert [s.tenant for s in service.statuses("alice")] == ["alice"]
+
+
+def test_slice_chunks_must_be_positive(db_path):
+    with pytest.raises(ValueError, match="at least 1"):
+        CampaignService(db_path, slice_chunks=0)
+
+
+def test_service_shares_an_open_db(db_path):
+    with CampaignStateDB(db_path) as db:
+        service = CampaignService(db, slice_chunks=2)
+        campaign = service.submit(CampaignRequest(config=_config(8), tenant="alice"))
+        service.serve()
+        service.close()  # must not close the borrowed handle
+        assert db.status(campaign).complete
