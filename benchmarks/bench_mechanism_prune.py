@@ -1,0 +1,120 @@
+"""Mechanism-aware pruning: >= 3x fewer crash states, < 5% analysis cost.
+
+The ``mechanism`` crash planner consumes the static analysis of the recorded
+write stream (journal-commit and checkpoint-generation inference) and emits
+one representative crash state per mechanism equivalence class instead of
+the exhaustive per-block enumeration.  This benchmark regenerates the two
+acceptance numbers on a seq-2 slice of the write-heavy flashfs family:
+
+* **Reduction**: the pruned campaign enumerates >= 3x fewer crash scenarios
+  than the exhaustive torn-write campaign while reporting the *identical*
+  bug set (the soundness bar — also locked in by
+  ``tests/test_mechanism_soundness.py``).
+* **Overhead**: the static pass itself (``analyze_io_log`` over every
+  recorded stream) costs < 5% of the exhaustive campaign it would prune, so
+  running the analysis on exhaustive-planner campaigns for reporting alone
+  is effectively free.
+"""
+
+import time
+
+from repro.ace import AceSynthesizer, seq2_bounds
+from repro.ace.adapter import CrashMonkeyAdapter
+from repro.analysis.mechanisms import analyze_io_log
+from repro.crashmonkey import CrashMonkey
+
+from conftest import BENCH_DEVICE_BLOCKS, print_table
+
+#: seq-2 slice size — matches the soundness test's CI-sized slice.
+SEQ2_SLICE = 60
+
+MIN_REDUCTION = 3.0
+MAX_ANALYSIS_OVERHEAD = 0.05
+
+
+def _workloads():
+    adapter = CrashMonkeyAdapter("flashfs")
+    return list(adapter.adapt_stream(
+        AceSynthesizer(seq2_bounds()).stream(limit=SEQ2_SLICE)
+    ))
+
+
+def _campaign(crash_plan, workloads):
+    harness = CrashMonkey("flashfs", device_blocks=BENCH_DEVICE_BLOCKS,
+                          crash_plan=crash_plan)
+    start = time.perf_counter()
+    results = [harness.test_workload(workload) for workload in workloads]
+    return results, time.perf_counter() - start, harness
+
+
+def _bug_set(result):
+    return {(r.checkpoint_id, r.primary.consequence)
+            for r in result.bug_reports if r.primary}
+
+
+def _scenarios(results):
+    return sum(r.scenarios_tested + r.deduped_scenarios for r in results)
+
+
+def test_seq2_scenario_reduction_is_at_least_3x():
+    workloads = _workloads()
+    exhaustive, _, _ = _campaign("torn", workloads)
+    pruned, _, _ = _campaign("mechanism", workloads)
+
+    for torn_result, mech_result in zip(exhaustive, pruned):
+        assert _bug_set(mech_result) == _bug_set(torn_result), (
+            f"{torn_result.workload.display_name()}: pruned bug set diverged"
+        )
+    reduction = _scenarios(exhaustive) / _scenarios(pruned)
+    mech_checkpoints = sum(r.mechanism_checkpoints for r in pruned)
+    fallbacks = sum(r.mechanism_fallback_checkpoints for r in pruned)
+    print_table(
+        f"mechanism pruning: flashfs seq-2 slice ({len(workloads)} workloads)",
+        [
+            ("crash scenarios (exhaustive torn)", _scenarios(exhaustive)),
+            ("crash scenarios (mechanism plan)", _scenarios(pruned)),
+            ("reduction", f"{reduction:.2f}x"),
+            ("mechanism-pruned checkpoints", mech_checkpoints),
+            ("exhaustive-fallback checkpoints", fallbacks),
+        ],
+        headers=("metric", "value"),
+    )
+    assert reduction >= MIN_REDUCTION, (
+        f"reduction {reduction:.2f}x fell below the {MIN_REDUCTION}x bar"
+    )
+    assert mech_checkpoints > 0 and fallbacks == 0
+
+
+def test_static_analysis_overhead_is_under_5_percent():
+    """The pure static pass is noise next to the campaign it prunes."""
+    workloads = _workloads()
+    harness = CrashMonkey("flashfs", device_blocks=BENCH_DEVICE_BLOCKS)
+    profiles = [harness.profile(workload) for workload in workloads]
+
+    # Best-of-3 for both sides: robust to scheduler noise in CI.
+    analysis_seconds = min(
+        _timed(lambda: [analyze_io_log(p.io_log, fs_name="flashfs")
+                        for p in profiles])
+        for _ in range(3)
+    )
+    campaign_seconds = min(_campaign("torn", workloads)[1] for _ in range(3))
+
+    overhead = analysis_seconds / campaign_seconds
+    print_table(
+        "static analysis overhead vs the exhaustive campaign",
+        [
+            ("exhaustive campaign seconds", f"{campaign_seconds:.3f}"),
+            ("static analysis seconds", f"{analysis_seconds:.3f}"),
+            ("overhead", f"{overhead:.2%}"),
+        ],
+        headers=("metric", "value"),
+    )
+    assert overhead < MAX_ANALYSIS_OVERHEAD, (
+        f"analysis overhead {overhead:.2%} exceeds {MAX_ANALYSIS_OVERHEAD:.0%}"
+    )
+
+
+def _timed(thunk):
+    start = time.perf_counter()
+    thunk()
+    return time.perf_counter() - start

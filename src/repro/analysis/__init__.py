@@ -1,0 +1,29 @@
+"""Static analysis of recorded write streams.
+
+The analysis layer consumes a recorded ``io_log`` — no execution, no crash
+states — and infers the *persistence mechanisms* the traced file system used:
+journal commit protocols (a commit record persist-fencing a preceding group
+of writes) and checkpoint-generation shadow headers (A/B area ping-pong named
+by a FUA superblock).  The inferred :class:`MechanismReport` feeds the
+``mechanism`` crash planner, which collapses the drop/tear cross-product to a
+few representative states per mechanism epoch, and the ``analyze`` CLI
+subcommand, which prints the report without running any crash state.
+"""
+
+from .mechanisms import (
+    AnalysisCursor,
+    MechanismEvidence,
+    MechanismReport,
+    WriteClass,
+    analyze_io_log,
+    classify_write,
+)
+
+__all__ = [
+    "AnalysisCursor",
+    "MechanismEvidence",
+    "MechanismReport",
+    "WriteClass",
+    "analyze_io_log",
+    "classify_write",
+]

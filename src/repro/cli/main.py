@@ -6,6 +6,8 @@ Subcommands mirror how the paper's tools are used:
 * ``repro-b3 generate``       — generate ACE workloads for a sequence length,
 * ``repro-b3 test``           — run a workload file through CrashMonkey,
 * ``repro-b3 campaign``       — generate-and-test a bounded workload space,
+* ``repro-b3 analyze``        — statically infer a trace's persistence
+  mechanisms (no crash states run),
 * ``repro-b3 reproduce``      — replay a known/new bug from the database,
 * ``repro-b3 list-bugs``      — list the known-bug corpus.
 
@@ -38,7 +40,7 @@ from ..core.campaign import B3Campaign, CampaignConfig
 from ..core.known_bugs import all_bugs, get_bug
 from ..core.study import analyze
 from ..crashmonkey.checks import DEFAULT_REGISTRY
-from ..crashmonkey.crashplan import PLAN_NAMES
+from ..crashmonkey.crashplan import PLAN_NAMES, describe_planners, make_planner
 from ..crashmonkey.harness import CrashMonkey
 from ..fs.bugs import BugConfig
 from ..fs.registry import available_filesystems
@@ -137,7 +139,12 @@ def _add_crash_plan_args(parser: argparse.ArgumentParser) -> None:
                              "fully-persisted state, 'reorder' also drops bounded subsets "
                              "of in-flight (post-flush, non-FUA) writes, 'torn' "
                              "additionally tears in-flight writes at 512-byte sector "
-                             "granularity (metadata-tagged blocks first)")
+                             "granularity (metadata-tagged blocks first), 'mechanism' "
+                             "statically infers the trace's persistence mechanisms and "
+                             "tests representative states per mechanism epoch (falling "
+                             "back to 'torn' wherever no mechanism is inferable)")
+    parser.add_argument("--list-planners", action="store_true",
+                        help="list the registered crash planners and exit")
     parser.add_argument("--reorder-bound", type=_positive_int, default=2, metavar="N",
                         help="reorder/torn plans: max blocks deviating from the baseline "
                              "per scenario (default: 2)")
@@ -398,8 +405,63 @@ def cmd_results(args) -> int:
             )
             return 2
         result = db.campaign_result(args.campaign_id)
+        mechanism_report = db.load_mechanism_report(args.campaign_id)
     print(result.describe())
+    if mechanism_report is not None:
+        from ..analysis.mechanisms import MechanismReport
+
+        print()
+        print("mechanism analysis (representative workload):")
+        for line in MechanismReport.from_dict(mechanism_report).summary().splitlines():
+            print(f"  {line}")
     _write_json_out(result, args.json_out)
+    return 0
+
+
+def cmd_analyze(args) -> int:
+    """Static mechanism analysis of one workload's recorded stream.
+
+    Profiles the workload (recording its block I/O) and prints the inferred
+    :class:`~repro.analysis.mechanisms.MechanismReport`, plus the pruning it
+    would buy: exhaustive (torn) vs mechanism scenario counts and the
+    projected fleet-cost reduction.  No crash state is constructed, mounted
+    or checked.
+    """
+    from ..analysis.mechanisms import analyze_io_log
+    from ..cluster.cost import CostModel
+    from ..crashmonkey.replayer import CrashStateGenerator
+
+    with open(args.workload, "r", encoding="utf-8") as handle:
+        text = handle.read()
+    workload = parse_workload(text, name=args.workload)
+    harness = CrashMonkey(args.filesystem, bugs=_bugs_from_args(args))
+    profile = harness.profile(workload)
+    report = analyze_io_log(profile.io_log, fs_name=harness.fs_name)
+    print(report.summary())
+
+    exhaustive = sum(1 for _ in CrashStateGenerator(
+        profile, planner=make_planner("torn", args.reorder_bound, args.torn_bound),
+    ).scenario_plan())
+    pruned = sum(1 for _ in CrashStateGenerator(
+        profile, planner=make_planner("mechanism", args.reorder_bound, args.torn_bound),
+    ).scenario_plan())
+    reduction = exhaustive / pruned if pruned else 1.0
+    print(f"crash scenarios: torn plan {exhaustive}, mechanism plan {pruned} "
+          f"({reduction:.2f}x reduction)")
+    model = CostModel()
+    print(f"projected 48h fleet cost: ${model.paper_48h_cost():.2f} exhaustive, "
+          f"${model.pruned_campaign_cost(48.0, reduction):.2f} with this pruning")
+    if args.json_out:
+        payload = {
+            "report": report.to_dict(),
+            "scenarios_exhaustive": exhaustive,
+            "scenarios_mechanism": pruned,
+            "scenario_reduction": reduction,
+        }
+        with open(args.json_out, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote analysis to {args.json_out}", file=sys.stderr)
     return 0
 
 
@@ -515,6 +577,20 @@ def build_parser() -> argparse.ArgumentParser:
     results.add_argument("--json-out", metavar="PATH", default=None,
                          help="also write the full campaign result as JSON to PATH")
 
+    analyze_cmd = sub.add_parser(
+        "analyze",
+        help="statically infer a workload trace's persistence mechanisms "
+             "(no crash states are run)",
+    )
+    analyze_cmd.add_argument("workload", help="path to a workload-language file")
+    analyze_cmd.add_argument("--filesystem", "-f", default="btrfs", choices=_fs_choices())
+    analyze_cmd.add_argument("--patched", action="store_true",
+                             help="record against the patched (bug-free) file system")
+    analyze_cmd.add_argument("--reorder-bound", type=_positive_int, default=2, metavar="N")
+    analyze_cmd.add_argument("--torn-bound", type=_positive_int, default=2, metavar="N")
+    analyze_cmd.add_argument("--json-out", metavar="PATH", default=None,
+                             help="also write the report and scenario counts as JSON")
+
     reproduce = sub.add_parser("reproduce", help="replay a bug from the known-bug database")
     reproduce.add_argument("bug_id", help="e.g. known-5 or new-1")
     reproduce.add_argument("--patched", action="store_true")
@@ -541,6 +617,7 @@ _COMMANDS = {
     "status": cmd_status,
     "resume": cmd_resume,
     "results": cmd_results,
+    "analyze": cmd_analyze,
     "reproduce": cmd_reproduce,
 }
 
@@ -548,6 +625,10 @@ _COMMANDS = {
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    if getattr(args, "list_planners", False):
+        for line in describe_planners():
+            print(line)
+        return 0
     return _COMMANDS[args.command](args)
 
 

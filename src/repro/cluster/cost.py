@@ -39,3 +39,15 @@ class CostModel:
         per_vm = -(-num_workloads // spec.total_vms)
         hours = per_vm * seconds_per_workload / 3600.0
         return self.campaign_cost(hours)
+
+    def pruned_campaign_cost(self, hours: float, scenario_reduction: float) -> float:
+        """Fleet cost after mechanism pruning cuts the crash-state count.
+
+        ``scenario_reduction`` is the exhaustive-to-pruned scenario ratio
+        (e.g. 3.0 for the mechanism planner's asserted ≥3x seq-2 reduction).
+        Crash-state testing dominates campaign wall clock, so the projected
+        cost scales inversely with the ratio.
+        """
+        if scenario_reduction <= 0:
+            raise ValueError("scenario_reduction must be positive")
+        return self.campaign_cost(hours / scenario_reduction)

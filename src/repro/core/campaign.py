@@ -76,6 +76,10 @@ class CampaignConfig:
     #: promoting cross-workload dedup to campaign-global under a pool backend
     #: (None with processes > 1 auto-provisions a temporary one per run)
     global_dedup_cache: Optional[str] = None
+    #: run the static mechanism analysis over every recorded stream; None
+    #: enables it exactly when ``crash_plan == "mechanism"``, True forces it
+    #: alongside an exhaustive plan (overhead measurement without pruning)
+    analyze_mechanisms: Optional[bool] = None
     #: worker processes; 1 = serial in-process, >1 = process-pool backend
     processes: int = 1
     #: workloads per dispatched chunk (None = engine default)
@@ -105,6 +109,7 @@ class B3Campaign:
             share_replay=config.share_replay,
             cross_workload_dedup=config.cross_workload_dedup,
             global_dedup_cache=config.global_dedup_cache,
+            analyze_mechanisms=config.analyze_mechanisms,
         )
         self._harness: Optional[CrashMonkey] = None
         #: engine bookkeeping of the most recent :meth:`run` (chunk stats, wall clock)

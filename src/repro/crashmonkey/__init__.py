@@ -15,9 +15,12 @@ from .crashplan import (
     CrashScenario,
     CrossWorkloadCache,
     GlobalDedupCache,
+    MechanismPlanner,
     PrefixPlanner,
     ReorderPlanner,
+    ScopedDedupCache,
     TornWritePlanner,
+    describe_planners,
     make_planner,
 )
 from .harness import CrashMonkey
@@ -53,10 +56,13 @@ __all__ = [
     "CrashScenario",
     "CrossWorkloadCache",
     "GlobalDedupCache",
+    "MechanismPlanner",
     "PrefixPlanner",
     "ReorderPlanner",
+    "ScopedDedupCache",
     "TornWritePlanner",
     "PLAN_NAMES",
+    "describe_planners",
     "make_planner",
     "BugReport",
     "CrashTestResult",

@@ -38,8 +38,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from itertools import combinations, product
-from typing import Dict, Iterator, List, Sequence, Set, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
 
+from ..analysis.mechanisms import MechanismReport, WriteClass, classify_write
+from ..errors import WorkloadError
 from ..storage.block import SECTORS_PER_BLOCK
 from ..storage.io_request import IORequest
 
@@ -260,6 +262,227 @@ class TornWritePlanner(ReorderPlanner):
         return candidates[: self.torn_bound]
 
 
+class MechanismPlanner(CrashPlanner):
+    """Mechanism-epoch pruning: representative states instead of cross-products.
+
+    Uses the statically inferred :class:`~repro.analysis.MechanismReport`
+    (attached per workload via :meth:`attach_report` before enumeration) plus
+    a content classification of each checkpoint's in-flight window to emit
+    only the states that are *distinguishable under the mechanism's recovery
+    invariant*.  The droppable writes of a window are decomposed into three
+    component kinds (a window may mix them — e.g. flashfs commits a log entry,
+    data blocks and a checkpoint chunk inside one fsync epoch):
+
+    * **journal entries** (log-area chunk envelopes): recovery scans the log
+      from the start and stops at the first missing/foreign block, so every
+      drop combination among an entry's blocks (and everything after it)
+      collapses to "entries valid up to entry *e*".  Emitted: one
+      drop-first-block state per in-flight entry.  Tears collapse too — a
+      torn log block either still reassembles (baseline) or breaks the scan
+      at the same entry boundary as a drop.
+    * **checkpoint chunks** (checkpoint-area envelopes of one in-flight
+      generation): *any* dropped chunk fails the header check and recovery
+      falls back to the previous generation, so one drop-first-chunk state
+      represents every drop combination.  Torn chunks are the one class
+      drops cannot represent (valid header, unassemblable payload →
+      unmountable), and a chunk tear has exactly two outcome classes — the
+      cut truncates the envelope's meaningful content (payload cannot
+      reassemble) or it preserves it (only stale tail bytes past the
+      content differ) — so the representative first chunk is torn at the
+      two extreme cuts (first sector only, all but the last sector), one
+      per class, instead of at every cut.
+    * **data blocks** (data-area content): a crashed data block is
+      distinguishable only per block — which of its in-flight writes landed
+      last — never in combination with other blocks (recovery does not read
+      one file's content to interpret another's).  Emitted: per data block,
+      one drop-suffix state per non-empty suffix of its writes, alone.
+
+    Soundness is by construction, not trust: any window containing a write
+    the reasoners cannot attribute (a droppable superblock, envelope-shaped
+    bytes outside their region, a rewritten log/checkpoint block) — and any
+    workload whose report inferred no mechanism at all — is delegated
+    verbatim to the exhaustive :class:`TornWritePlanner`, never silently
+    under-tested.  The exhaustive-comparison tests
+    (`tests/test_mechanism_soundness.py`) pin the pruned bug set to the
+    exhaustive one over the seq-1 space and a seq-2 slice.
+    """
+
+    name = "mechanism"
+
+    #: window classifications (``classify_window`` return values)
+    WINDOW_EMPTY = "empty"
+    WINDOW_MECHANISM = "mechanism"
+    WINDOW_EXHAUSTIVE = "exhaustive"
+
+    def __init__(self, reorder_bound: int = 2, torn_bound: int = 2):
+        self._fallback = TornWritePlanner(torn_bound=torn_bound, reorder_bound=reorder_bound)
+        self._report: Optional[MechanismReport] = None
+
+    def attach_report(self, report: Optional[MechanismReport]) -> None:
+        """Attach the current workload's inferred report (before enumeration).
+
+        The harness tests workloads sequentially, so a single planner
+        instance carries one workload's report at a time.  ``None`` — or a
+        report with no inferred mechanism — switches every checkpoint of the
+        workload to the exhaustive fallback.
+        """
+        self._report = report
+
+    # ------------------------------------------------------------ classification
+
+    def classify_window(self, window: Sequence[IORequest]) -> str:
+        """Which pruning (if any) applies to a checkpoint's in-flight window."""
+        by_block = ReorderPlanner._droppable_by_block(window)
+        if not by_block:
+            return self.WINDOW_EMPTY
+        report = self._report
+        if report is None or not report.has_mechanisms:
+            return self.WINDOW_EXHAUSTIVE
+        parts = self._decompose(window)
+        if parts is None:
+            return self.WINDOW_EXHAUSTIVE
+        entries, chunks, _ = parts
+        if entries and not report.evidence_for("journal-commit"):
+            return self.WINDOW_EXHAUSTIVE
+        if chunks and not report.evidence_for("checkpoint-generation"):
+            return self.WINDOW_EXHAUSTIVE
+        return self.WINDOW_MECHANISM
+
+    @staticmethod
+    def _decompose(
+        window: Sequence[IORequest],
+    ) -> Optional[Tuple[List[List[IORequest]], List[IORequest],
+                        List[Tuple[int, List[IORequest]]]]]:
+        """Split the droppable writes into (journal entries, checkpoint
+        chunks, data blocks); ``None`` when any write defies attribution.
+
+        Attribution is strict — the caller falls back to the exhaustive plan
+        on ``None``: log/checkpoint blocks rewritten within one window, a
+        droppable (non-FUA) superblock write, envelope-shaped payloads
+        outside their region, inconsistent entry/chunk indexing, or chunks
+        from more than one in-flight generation all disqualify the window.
+        """
+        from ..fs import layout
+
+        by_block = ReorderPlanner._droppable_by_block(window)
+        journal: List[IORequest] = []
+        chunk_headers: List[Tuple[dict, IORequest]] = []
+        data: List[Tuple[int, List[IORequest]]] = []
+        for block in sorted(by_block):
+            writes = by_block[block]
+            kinds = {classify_write(w)[0] for w in writes}
+            if kinds == {WriteClass.JOURNAL}:
+                if len(writes) != 1:
+                    return None  # append-only log never rewrites a block
+                journal.append(writes[0])
+            elif kinds == {WriteClass.CHECKPOINT}:
+                if len(writes) != 1:
+                    return None  # one chunk write per block per generation
+                header = classify_write(writes[0])[1]
+                chunk_headers.append((header, writes[0]))
+            elif kinds == {WriteClass.DATA} and block >= layout.DATA_START:
+                data.append((block, list(writes)))
+            else:
+                return None
+        # Journal component: group into entries by envelope index (an entry
+        # starts at index 0 and continues with contiguous indices, in append
+        # order).
+        journal.sort(key=lambda request: request.seq)
+        entries: List[List[IORequest]] = []
+        expected_index = 0
+        for request in journal:
+            header = classify_write(request)[1]
+            if header["index"] == 0:
+                entries.append([request])
+                expected_index = 1
+            elif entries and header["index"] == expected_index:
+                entries[-1].append(request)
+                expected_index += 1
+            else:
+                return None
+        # Checkpoint component: exactly the chunk set 0..k-1 of one in-flight
+        # generation (one commit).
+        if chunk_headers:
+            if len({header["generation"] for header, _ in chunk_headers}) != 1:
+                return None
+            chunk_headers.sort(key=lambda pair: pair[0]["index"])
+            if [h["index"] for h, _ in chunk_headers] != list(range(len(chunk_headers))):
+                return None
+        chunks = [request for _, request in chunk_headers]
+        return entries, chunks, data
+
+    # ------------------------------------------------------------ enumeration
+
+    def scenarios(self, checkpoint_id: int,
+                  window: Sequence[IORequest]) -> Iterator[CrashScenario]:
+        kind = self.classify_window(window)
+        if kind == self.WINDOW_EXHAUSTIVE:
+            # Never silently under-test: unattributed windows (and workloads
+            # with no inferred mechanism) get the full exhaustive plan.
+            yield from self._fallback.scenarios(checkpoint_id, window)
+            return
+        yield CrashScenario(
+            checkpoint_id=checkpoint_id,
+            plan=self.name,
+            description="baseline: every in-flight write persisted",
+        )
+        if kind == self.WINDOW_EMPTY:
+            return
+        entries, chunks, data = self._decompose(window)
+        for position, entry in enumerate(entries):
+            first = entry[0]
+            yield CrashScenario(
+                checkpoint_id=checkpoint_id,
+                plan=self.name,
+                dropped_seqs=(first.seq,),
+                description=(
+                    f"journal epoch: commit entry {position + 1}/{len(entries)} "
+                    f"never persisted (recovery's log scan stops at block "
+                    f"{first.block})"
+                ),
+            )
+        if chunks:
+            first = chunks[0]
+            yield CrashScenario(
+                checkpoint_id=checkpoint_id,
+                plan=self.name,
+                dropped_seqs=(first.seq,),
+                description=(
+                    f"checkpoint generation: chunk 0/{len(chunks)} never persisted "
+                    "(header check fails, recovery falls back a generation)"
+                ),
+            )
+            # Two tear representatives, one per outcome class: the minimal
+            # cut truncates the envelope's content (reassembly must fail),
+            # the maximal cut preserves all but the last sector (the
+            # content-survives class, which can even equal the baseline when
+            # the stale tail matches).  Intermediate cuts land in one of the
+            # same two classes.
+            for sectors in sorted({1, SECTORS_PER_BLOCK - 1}):
+                yield CrashScenario(
+                    checkpoint_id=checkpoint_id,
+                    plan=self.name,
+                    torn=((first.seq, sectors),),
+                    description=(
+                        f"checkpoint generation: chunk 0 torn after {sectors} of "
+                        f"{SECTORS_PER_BLOCK} sectors (header valid, payload broken)"
+                    ),
+                )
+        for block, writes in data:
+            for start in range(len(writes)):
+                dropped = tuple(request.seq for request in writes[start:])
+                yield CrashScenario(
+                    checkpoint_id=checkpoint_id,
+                    plan=self.name,
+                    dropped_seqs=dropped,
+                    description=(
+                        f"data epoch: block {block} kept "
+                        f"{'no in-flight content' if start == 0 else f'write {start}'} "
+                        f"of {len(writes)} in-flight write(s)"
+                    ),
+                )
+
+
 # --------------------------------------------------------------------------- dedup
 
 
@@ -370,10 +593,86 @@ class GlobalDedupCache:
         self._conn.close()
 
 
+class ScopedDedupCache(GlobalDedupCache):
+    """Campaign-scoped, chunk-attributed variant of :class:`GlobalDedupCache`.
+
+    Lives in the campaign state store's own sqlite file so the sighting set
+    is as durable as the chunk ledger: a resumed ``--cross-workload-dedup``
+    campaign sees exactly the sightings its completed chunks registered,
+    instead of starting history-dependent from an empty in-memory cache.
+
+    Each sighting records the engine chunk that registered it
+    (:meth:`set_chunk` is called by the backends before a chunk is tested).
+    ``CampaignStateDB.recover_from_crash`` deletes sightings attributed to
+    chunks that never committed — an in-flight chunk's sightings would
+    otherwise suppress scenarios its own re-run (after the crash threw the
+    results away) still has to test.
+    """
+
+    def __init__(self, path: str, scope: str, timeout: float = 30.0):
+        import sqlite3
+
+        self.path = path
+        self.scope = scope
+        self.chunk_index = -1
+        self._conn = sqlite3.connect(path, timeout=timeout)
+        self._conn.execute("PRAGMA journal_mode=WAL")
+        self._conn.execute("PRAGMA synchronous=NORMAL")
+        self._conn.execute(
+            "CREATE TABLE IF NOT EXISTS dedup_sightings ("
+            " scope TEXT NOT NULL,"
+            " key TEXT NOT NULL,"
+            " chunk_index INTEGER NOT NULL,"
+            " PRIMARY KEY (scope, key))"
+        )
+        self._conn.commit()
+        self.hits = 0
+        self.misses = 0
+
+    def set_chunk(self, index: int) -> None:
+        """Attribute subsequent sightings to engine chunk ``index``."""
+        self.chunk_index = index
+
+    def __len__(self) -> int:
+        row = self._conn.execute(
+            "SELECT COUNT(*) FROM dedup_sightings WHERE scope = ?", (self.scope,)
+        ).fetchone()
+        return int(row[0])
+
+    def first_sighting(self, key: Tuple) -> bool:
+        cursor = self._conn.execute(
+            "INSERT OR IGNORE INTO dedup_sightings (scope, key, chunk_index)"
+            " VALUES (?, ?, ?)",
+            (self.scope, self._encode(key), self.chunk_index),
+        )
+        self._conn.commit()
+        if cursor.rowcount == 1:
+            self.misses += 1
+            return True
+        self.hits += 1
+        return False
+
+
 #: Registered plan names → planner factories.  ``reorder_bound`` and
 #: ``torn_bound`` are accepted by every factory so harness specs can rebuild
 #: planners uniformly.
-PLAN_NAMES: Tuple[str, ...] = ("prefix", "reorder", "torn")
+PLAN_NAMES: Tuple[str, ...] = ("prefix", "reorder", "torn", "mechanism")
+
+#: One-line description per registered plan (the CLI's ``--list-planners``).
+PLAN_DESCRIPTIONS: Dict[str, str] = {
+    "prefix": "one state per persistence point: every recorded write applied in order",
+    "reorder": "prefix plus bounded dropping of in-flight (post-flush, non-FUA) writes",
+    "torn": "reorder plus sector-granular torn writes (metadata-first tear budget)",
+    "mechanism": (
+        "representative states per inferred commit-protocol epoch; exhaustive "
+        "torn fallback for windows no mechanism explains"
+    ),
+}
+
+
+def describe_planners() -> List[str]:
+    """``name — description`` lines for every registered planner."""
+    return [f"{name} — {PLAN_DESCRIPTIONS[name]}" for name in PLAN_NAMES]
 
 
 def make_planner(name: str, reorder_bound: int = 2, torn_bound: int = 2) -> CrashPlanner:
@@ -384,4 +683,8 @@ def make_planner(name: str, reorder_bound: int = 2, torn_bound: int = 2) -> Cras
         return ReorderPlanner(bound=reorder_bound)
     if name == "torn":
         return TornWritePlanner(torn_bound=torn_bound, reorder_bound=reorder_bound)
-    raise ValueError(f"unknown crash plan {name!r}; available: {', '.join(PLAN_NAMES)}")
+    if name == "mechanism":
+        return MechanismPlanner(reorder_bound=reorder_bound, torn_bound=torn_bound)
+    raise WorkloadError(
+        f"unknown crash plan {name!r}; registered planners: {', '.join(PLAN_NAMES)}"
+    )

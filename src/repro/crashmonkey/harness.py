@@ -19,15 +19,22 @@ import time
 from dataclasses import replace
 from typing import Iterable, Iterator, List, Optional, Sequence
 
+from ..analysis.mechanisms import MechanismReport
+from ..errors import HarnessError
 from ..fs.bugs import BugConfig
 from ..fs.registry import models, resolve_fs_name
 from ..storage.block import DEFAULT_DEVICE_BLOCKS
 from ..workload.workload import Workload
 from .checker import CheckPipeline
-from .crashplan import CrossWorkloadCache, GlobalDedupCache, make_planner
+from .crashplan import (
+    CrossWorkloadCache,
+    GlobalDedupCache,
+    ScopedDedupCache,
+    make_planner,
+)
 from .recorder import WorkloadProfile, WorkloadRecorder
 from .replayer import CrashStateGenerator, SharedReplayCache, default_share_replay
-from .report import BugReport, CrashTestResult
+from .report import HARNESS_ERROR, BugReport, CrashTestResult, Mismatch
 
 
 class CrashMonkey:
@@ -47,6 +54,8 @@ class CrashMonkey:
                  share_replay: Optional[bool] = None,
                  cross_workload_dedup: bool = False,
                  global_dedup_cache: Optional[str] = None,
+                 dedup_scope: Optional[str] = None,
+                 analyze_mechanisms: Optional[bool] = None,
                  kernel_version: str = "4.16"):
         """
         Args:
@@ -102,6 +111,19 @@ class CrashMonkey:
                 campaign-global: a checkpoint first tested by *any* worker is
                 skipped by all of them.  Ignored when ``cross_workload_dedup``
                 is off.
+            dedup_scope: campaign identifier scoping the disk-backed sighting
+                cache.  When given alongside ``global_dedup_cache`` the
+                sightings are kept in a durable, campaign-scoped table (the
+                campaign state database), so a resumed campaign sees exactly
+                the sightings its own completed chunks produced — resumable
+                ``cross_workload_dedup`` stops being history-dependent.
+                Ignored without ``global_dedup_cache``.
+            analyze_mechanisms: run the static mechanism analysis over each
+                recorded stream (journal-commit / checkpoint-generation
+                inference) while building crash states.  ``None`` enables it
+                exactly when the crash planner consumes the report (the
+                ``mechanism`` plan); forcing ``True`` on an exhaustive plan
+                measures analysis overhead without changing the plan.
             kernel_version: label attached to bug reports.
         """
         self.fs_name = resolve_fs_name(fs_name)
@@ -113,8 +135,15 @@ class CrashMonkey:
         self.torn_bound = torn_bound
         self.dedup_scenarios = dedup_scenarios
         self.cross_workload_dedup = cross_workload_dedup
-        # Planners are stateless, so one instance serves every workload (and
-        # building it here fails fast on a bad plan name or bound).
+        self.analyze_mechanisms = analyze_mechanisms
+        #: mechanism report inferred for the most recently tested workload
+        #: (None until a workload ran with analysis enabled)
+        self.last_mechanism_report: Optional[MechanismReport] = None
+        # One planner instance serves every workload: prefix/reorder/torn are
+        # stateless, and the mechanism planner's only state (the attached
+        # report) is re-attached by the generator before each workload's
+        # scenarios are enumerated.  Building it here fails fast on a bad
+        # plan name or bound.
         self.planner = make_planner(crash_plan, reorder_bound, torn_bound)
         self.kernel_version = kernel_version
         self.recorder = WorkloadRecorder(self.fs_name, self.bugs, device_blocks=device_blocks,
@@ -131,8 +160,12 @@ class CrashMonkey:
         #: ``global_dedup_cache`` path is given.  One fixed fs/bugs/planner
         #: per harness (and per campaign) keeps its sightings sound.
         self.global_dedup_cache = global_dedup_cache if cross_workload_dedup else None
+        self.dedup_scope = (dedup_scope if cross_workload_dedup
+                            and global_dedup_cache is not None else None)
         if not cross_workload_dedup:
             self.cross_cache = None
+        elif global_dedup_cache is not None and dedup_scope is not None:
+            self.cross_cache = ScopedDedupCache(global_dedup_cache, dedup_scope)
         elif global_dedup_cache is not None:
             self.cross_cache = GlobalDedupCache(global_dedup_cache)
         else:
@@ -142,10 +175,35 @@ class CrashMonkey:
 
     # ------------------------------------------------------------------ public API
 
+    def begin_chunk(self, index: int) -> None:
+        """Tell the durable sighting cache which engine chunk is running.
+
+        Sightings are stamped with the chunk that produced them so crash
+        recovery can discard the ones from chunks that never completed
+        (:meth:`~repro.service.statedb.CampaignStateDB.recover_from_crash`).
+        A no-op for the in-memory and unscoped caches.
+        """
+        set_chunk = getattr(self.cross_cache, "set_chunk", None)
+        if set_chunk is not None:
+            set_chunk(index)
+
     def profile(self, workload: Workload) -> WorkloadProfile:
         """Phase 1 only: profile the workload and return the recording."""
         workload.validate()
         return self.recorder.profile(workload)
+
+    def analyze(self, workload: Workload) -> MechanismReport:
+        """Profile the workload and statically analyze its recorded stream.
+
+        No crash state is constructed, mounted or checked — this is the pure
+        static pass behind the ``analyze`` CLI subcommand.
+        """
+        from ..analysis.mechanisms import analyze_io_log
+
+        profile = self.profile(workload)
+        report = analyze_io_log(profile.io_log, fs_name=self.fs_name)
+        self.last_mechanism_report = report
+        return report
 
     def test_workload(self, workload: Workload) -> CrashTestResult:
         """Run the full record → replay → check pipeline on one workload."""
@@ -172,9 +230,21 @@ class CrashMonkey:
         generator = CrashStateGenerator(profile, planner=self.planner,
                                         dedup_scenarios=self.dedup_scenarios,
                                         cross_cache=self.cross_cache,
-                                        replay_cache=self.replay_cache)
+                                        replay_cache=self.replay_cache,
+                                        analyze=self.analyze_mechanisms)
         result.checkpoints_tested = len(checkpoints)
-        for crash_state in generator.generate_scenarios(checkpoints):
+        scenario_iter = generator.generate_scenarios(checkpoints)
+        while True:
+            try:
+                crash_state = next(scenario_iter)
+            except StopIteration:
+                break
+            except HarnessError as exc:
+                # A truncated or internally inconsistent recorded stream must
+                # surface as a harness-error report (nothing the checker said
+                # about this workload is trustworthy), never as a pass.
+                result.bug_reports.append(self._harness_error_report(workload, exc))
+                break
             result.replay_seconds += crash_state.replay_seconds
             result.mount_seconds += crash_state.mount_seconds
             result.fsck_seconds += crash_state.fsck_seconds
@@ -211,7 +281,31 @@ class CrashMonkey:
         result.replay_shared = generator.replay_shared
         result.replay_writes_reused = generator.replay_writes_reused
         result.replay_seconds_saved = generator.replay_seconds_saved
+        result.mechanism_checkpoints = generator.mechanism_checkpoints
+        result.mechanism_fallback_checkpoints = generator.mechanism_fallback_checkpoints
+        if generator.mechanism_report is not None:
+            self.last_mechanism_report = generator.mechanism_report
         return result
+
+    def _harness_error_report(self, workload: Workload, exc: Exception) -> BugReport:
+        mismatch = Mismatch(
+            check="harness",
+            consequence=HARNESS_ERROR,
+            path="",
+            expected="recorded stream replayable at every selected persistence point",
+            actual=str(exc),
+            scenario=self.crash_plan,
+        )
+        return BugReport(
+            workload=workload,
+            fs_type=self.fs_name,
+            fs_model=self.fs_model,
+            checkpoint_id=-1,
+            crash_point="crash-state generation failed",
+            mismatches=[mismatch],
+            kernel_version=self.kernel_version,
+            scenario=self.crash_plan,
+        )
 
     def test_stream(self, workloads) -> "Iterator[CrashTestResult]":
         """Lazily test a stream of workloads, yielding one result per workload.

@@ -28,6 +28,7 @@ import time
 from dataclasses import dataclass, replace
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
+from ..analysis.mechanisms import AnalysisCursor, MechanismReport
 from ..errors import HarnessError, UnmountableError
 from ..fs import fsck
 from ..fs.registry import get_fs_class
@@ -165,6 +166,10 @@ class _ReplayNode:
     replayed_writes: int
     #: build wall-clock seconds a from-scratch run spends reaching this node
     elapsed: float
+    #: mechanism-analysis cursor state at ``index`` (None when the build ran
+    #: without static analysis); siblings resume the inference on their
+    #: shared prefix exactly like they resume the replay itself
+    analysis: Optional[AnalysisCursor] = None
 
 
 class SharedReplayCache:
@@ -193,6 +198,7 @@ class SharedReplayCache:
         self._log: Tuple[IORequest, ...] = ()
         self._base = None
         self._hashed = False
+        self._analyzed = False
         # -- campaign-lifetime accounting ------------------------------------
         #: builds that resumed from the cache instead of starting from scratch
         self.replay_hits = 0
@@ -228,17 +234,21 @@ class SharedReplayCache:
 
     # ------------------------------------------------------------------ build protocol
 
-    def begin(self, profile: WorkloadProfile, want_hasher: bool) -> Optional[_ReplayNode]:
+    def begin(self, profile: WorkloadProfile, want_hasher: bool,
+              want_analysis: bool = False) -> Optional[_ReplayNode]:
         """Start a build for ``profile``; returns the resume node or None.
 
         Drops trail nodes past the divergence point (they belong to the
         previous sibling's suffix) and resets the trail entirely when the
-        base image or digest mode changed — a node frozen without a running
-        digest cannot seed a build that needs one, and vice versa.
+        base image, digest mode or analysis mode changed — a node frozen
+        without a running digest (or analysis cursor) cannot seed a build
+        that needs one, and vice versa.
         """
         log = profile.io_log
         node: Optional[_ReplayNode] = None
-        if self._trail and self._hashed == want_hasher and self._base_matches(profile.base_image):
+        if (self._trail and self._hashed == want_hasher
+                and self._analyzed == want_analysis
+                and self._base_matches(profile.base_image)):
             shared = self._shared_prefix_len(log)
             while self._trail and self._trail[-1].index > shared:
                 self._trail.pop()
@@ -253,18 +263,19 @@ class SharedReplayCache:
             self.replay_seconds_saved += node.elapsed
         self._log = log
         self._hashed = want_hasher
+        self._analyzed = want_analysis
         return node
 
     def freeze(self, *, index: int, cursor: CowDevice, stable: CowDevice,
                window: Tuple[IORequest, ...],
                records: Dict[int, "_CheckpointRecord"],
                hasher: Optional[object], replayed_writes: int,
-               elapsed: float) -> None:
+               elapsed: float, analysis: Optional[AnalysisCursor] = None) -> None:
         """Append a trail node for the build in progress.
 
-        ``records`` and ``hasher`` are snapshotted here (the walk keeps
-        mutating its own copies); ``cursor``/``stable`` are already frozen
-        forks, shared as-is.
+        ``records``, ``hasher`` and ``analysis`` are snapshotted here (the
+        walk keeps mutating its own copies); ``cursor``/``stable`` are
+        already frozen forks, shared as-is.
         """
         self._trail.append(
             _ReplayNode(
@@ -276,6 +287,7 @@ class SharedReplayCache:
                 hasher=hasher.copy() if hasher is not None else None,
                 replayed_writes=replayed_writes,
                 elapsed=elapsed,
+                analysis=analysis.copy() if analysis is not None else None,
             )
         )
 
@@ -327,11 +339,26 @@ class CrashStateGenerator:
                  planner: Optional[CrashPlanner] = None,
                  dedup_scenarios: bool = True,
                  cross_cache: Optional[CrossWorkloadCache] = None,
-                 replay_cache: Optional[SharedReplayCache] = None):
+                 replay_cache: Optional[SharedReplayCache] = None,
+                 analyze: Optional[bool] = None):
         self.profile = profile
         self.fs_class = get_fs_class(profile.fs_name)
         self.run_fsck_on_failure = run_fsck_on_failure
         self.planner = planner if planner is not None else PrefixPlanner()
+        #: run the static mechanism analysis during the one-pass build.
+        #: ``None`` = auto: on exactly when the planner consumes reports
+        #: (``attach_report``); an explicit flag forces it either way (the
+        #: overhead benchmark and the ``analyze`` path use this).
+        self.analyze = (analyze if analyze is not None
+                        else hasattr(self.planner, "attach_report"))
+        #: the inferred mechanism report (populated by the build when
+        #: :attr:`analyze` is on)
+        self.mechanism_report: Optional[MechanismReport] = None
+        #: checkpoints planned via an inferred mechanism vs delegated to the
+        #: exhaustive fallback (mechanism planner only; deterministic per
+        #: workload — counted before any dedup skipping)
+        self.mechanism_checkpoints = 0
+        self.mechanism_fallback_checkpoints = 0
         #: skip constructing/checking a checkpoint's scenarios when an earlier
         #: checkpoint provably yields the same states and expectations
         self.dedup_scenarios = dedup_scenarios
@@ -382,7 +409,8 @@ class CrashStateGenerator:
         start = time.perf_counter()
         cache = self.replay_cache
         log = self.profile.io_log
-        node = cache.begin(self.profile, want_hasher=self.cross_cache is not None) \
+        node = cache.begin(self.profile, want_hasher=self.cross_cache is not None,
+                           want_analysis=self.analyze) \
             if cache is not None else None
         if node is not None:
             records: Dict[int, _CheckpointRecord] = dict(node.records)
@@ -390,6 +418,11 @@ class CrashStateGenerator:
             stable = node.stable
             window: List[IORequest] = list(node.window)
             hasher = node.hasher.copy() if node.hasher is not None else None
+            analysis = node.analysis.copy() if node.analysis is not None else None
+            if analysis is None and self.analyze:
+                # Trail frozen before analysis existed (mode just flipped):
+                # re-derive the prefix facts from the shared log itself.
+                analysis = AnalysisCursor().feed_all(log[: node.index])
             start_index = node.index
             replayed = node.replayed_writes
             base_elapsed = node.elapsed
@@ -407,11 +440,14 @@ class CrashStateGenerator:
             hasher = hashlib.sha1(
                 f"{self.profile.fs_name}:{self.profile.base_image.num_blocks}:".encode("ascii")
             ) if self.cross_cache is not None else None
+            analysis = AnalysisCursor() if self.analyze else None
             start_index = 0
             replayed = 0
             base_elapsed = 0.0
         for index in range(start_index, len(log)):
             request = log[index]
+            if analysis is not None:
+                analysis.feed(request)
             if request.is_write:
                 if request.block is None or request.data is None:
                     raise HarnessError(
@@ -440,6 +476,7 @@ class CrashStateGenerator:
                         window=(), records=records, hasher=hasher,
                         replayed_writes=replayed,
                         elapsed=base_elapsed + time.perf_counter() - start,
+                        analysis=analysis,
                     )
             elif request.is_checkpoint and request.checkpoint_id is not None:
                 baseline = cursor.snapshot(name=f"crash-{request.checkpoint_id}")
@@ -456,15 +493,42 @@ class CrashStateGenerator:
                         window=tuple(window), records=records, hasher=hasher,
                         replayed_writes=replayed,
                         elapsed=base_elapsed + time.perf_counter() - start,
+                        analysis=analysis,
                     )
         self._records = records
+        if analysis is not None:
+            self.mechanism_report = analysis.finish(self.profile.fs_name)
         self.build_seconds = time.perf_counter() - start
         return records
+
+    def _attach_planner_report(self) -> None:
+        """Hand the inferred report to a mechanism-aware planner.
+
+        Must run after the build and before enumeration.  The harness tests
+        workloads sequentially, so re-attaching per workload keeps one shared
+        planner instance correct across a campaign.
+        """
+        attach = getattr(self.planner, "attach_report", None)
+        if attach is not None:
+            attach(self.mechanism_report)
+
+    def _count_mechanism_window(self, window: Tuple[IORequest, ...]) -> None:
+        classify = getattr(self.planner, "classify_window", None)
+        if classify is None:
+            return
+        kind = classify(window)
+        if kind == "exhaustive":
+            self.mechanism_fallback_checkpoints += 1
+        elif kind != "empty":
+            self.mechanism_checkpoints += 1
 
     def _record_for(self, checkpoint_id: int) -> _CheckpointRecord:
         record = self._ensure_built().get(checkpoint_id)
         if record is None:
-            raise ValueError(f"recorded stream has no checkpoint {checkpoint_id}")
+            # A recorded stream that promises a persistence point (the oracle
+            # exists) but carries no marker is truncated or corrupt: that is
+            # a harness failure to surface, never a checkpoint to skip.
+            raise HarnessError(f"recorded stream has no checkpoint {checkpoint_id}")
         return record
 
     # ------------------------------------------------------------------ state construction
@@ -563,9 +627,12 @@ class CrashStateGenerator:
         """
         if checkpoint_ids is None:
             checkpoint_ids = self.profile.checkpoints()
+        self._ensure_built()
+        self._attach_planner_report()
         tested: Dict[Tuple[int, Tuple[int, ...]], int] = {}
         for checkpoint_id in checkpoint_ids:
             record = self._record_for(checkpoint_id)
+            self._count_mechanism_window(record.window)
             if self.dedup_scenarios:
                 key = (id(record.stable), tuple(r.seq for r in record.window))
                 twin = tested.get(key)
@@ -626,6 +693,8 @@ class CrashStateGenerator:
         """Enumerate the planner's scenarios without constructing any state."""
         if checkpoint_ids is None:
             checkpoint_ids = self.profile.checkpoints()
+        self._ensure_built()
+        self._attach_planner_report()
         for checkpoint_id in checkpoint_ids:
             record = self._record_for(checkpoint_id)
             yield from self.planner.scenarios(checkpoint_id, record.window)

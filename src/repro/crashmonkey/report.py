@@ -312,6 +312,13 @@ class CrashTestResult:
     #: with ``replay_seconds`` (the fresh-build component actually paid)
     #: this splits construction time into trie-hit vs fresh-replay parts
     replay_seconds_saved: float = 0.0
+    #: mechanism-planner accounting: checkpoints whose crash window was
+    #: collapsed to representative states by an inferred mechanism, and
+    #: checkpoints where the planner fell back to the exhaustive torn plan.
+    #: Counted from the recorded stream before any dedup decision, so both
+    #: are schedule-invariant (canonical) rather than session telemetry.
+    mechanism_checkpoints: int = 0
+    mechanism_fallback_checkpoints: int = 0
 
     @property
     def passed(self) -> bool:
@@ -342,6 +349,7 @@ class CrashTestResult:
         "prefix_shared", "prefix_ops_reused", "prefix_writes_reused",
         "prefix_seconds_saved",
         "replay_shared", "replay_writes_reused", "replay_seconds_saved",
+        "mechanism_checkpoints", "mechanism_fallback_checkpoints",
     )
 
     #: fields that describe *how this session happened to run*, not what was

@@ -136,6 +136,7 @@ class SerialBackend:
                 chunks: Iterable[IndexedChunk]) -> Iterator[ChunkOutcome]:
         harness = self._harness_for(spec)
         for index, chunk in chunks:
+            harness.begin_chunk(index)
             start = time.perf_counter()
             results = list(harness.test_stream(chunk))
             yield ChunkOutcome(
@@ -162,6 +163,7 @@ def _run_chunk(indexed_chunk: IndexedChunk) -> ChunkOutcome:
     harness = _WORKER_HARNESS
     if harness is None:  # pragma: no cover - initializer always ran
         raise RuntimeError("worker harness was not initialized")
+    harness.begin_chunk(index)
     start = time.perf_counter()
     results = list(harness.test_stream(chunk))
     return ChunkOutcome(

@@ -71,6 +71,15 @@ class HarnessSpec:
     #: under a pool backend.  Workers open their own sqlite connection to the
     #: path; only the string crosses process boundaries.
     global_dedup_cache: Optional[str] = None
+    #: campaign identifier scoping the disk-backed sighting cache; with
+    #: ``global_dedup_cache`` set this stores sightings durably per campaign
+    #: (the campaign state database), making resumed cross-workload dedup
+    #: independent of interrupt history.  Ignored without a cache path.
+    dedup_scope: Optional[str] = None
+    #: run the static mechanism analysis over each recorded stream; ``None``
+    #: enables it exactly when the crash plan consumes the report (the
+    #: ``mechanism`` plan), ``True`` forces it (overhead measurement)
+    analyze_mechanisms: Optional[bool] = None
     kernel_version: str = "4.16"
 
     def build(self) -> CrashMonkey:
@@ -91,5 +100,7 @@ class HarnessSpec:
             share_replay=self.share_replay,
             cross_workload_dedup=self.cross_workload_dedup,
             global_dedup_cache=self.global_dedup_cache,
+            dedup_scope=self.dedup_scope,
+            analyze_mechanisms=self.analyze_mechanisms,
             kernel_version=self.kernel_version,
         )

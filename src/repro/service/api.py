@@ -75,6 +75,7 @@ def config_to_dict(config: CampaignConfig) -> dict:
         "share_replay": config.share_replay,
         "cross_workload_dedup": config.cross_workload_dedup,
         "global_dedup_cache": config.global_dedup_cache,
+        "analyze_mechanisms": config.analyze_mechanisms,
         "processes": config.processes,
         "chunk_size": config.chunk_size,
     }
@@ -118,6 +119,7 @@ def config_from_dict(payload: dict) -> CampaignConfig:
         share_replay=payload.get("share_replay"),
         cross_workload_dedup=payload.get("cross_workload_dedup", False),
         global_dedup_cache=payload.get("global_dedup_cache"),
+        analyze_mechanisms=payload.get("analyze_mechanisms"),
         processes=payload.get("processes", 1),
         chunk_size=payload.get("chunk_size"),
     )

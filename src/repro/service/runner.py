@@ -38,6 +38,7 @@ import contextlib
 import hashlib
 import os
 import signal
+from dataclasses import replace
 from typing import Iterator, List, Optional, Tuple
 
 from ..ace.adapter import CrashMonkeyAdapter
@@ -150,6 +151,25 @@ class DurableCampaignRunner:
 
     # -------------------------------------------------------------- execution
 
+    def _persist_mechanism_report(self) -> None:
+        """Store the campaign's mechanism-analysis summary, once.
+
+        Only meaningful under the ``mechanism`` crash plan.  The analysis is
+        a pure function of the recorded stream, and ACE siblings share their
+        mechanism structure, so one representative workload's report (the
+        first valid one) summarizes the campaign family.  Idempotent across
+        sessions: the first stored report wins.
+        """
+        if self.config.crash_plan != "mechanism":
+            return
+        if self.db.load_mechanism_report(self.campaign_id) is not None:
+            return
+        adapter = CrashMonkeyAdapter(self._campaign.fs_name)
+        for workload in adapter.adapt_stream(self._campaign.iter_workloads()):
+            report = self._campaign.harness.analyze(workload)
+            self.db.save_mechanism_report(self.campaign_id, report.to_dict())
+            break
+
     def run(self, progress: Optional[ProgressCallback] = None,
             max_chunks: Optional[int] = None) -> Optional[CampaignResult]:
         """Run (or resume) the campaign; returns the result once complete.
@@ -195,8 +215,19 @@ class DurableCampaignRunner:
         done_workloads = db.chunk_states(campaign_id).get(api.CHUNK_DONE, (0, 0))[1]
         failing_offset = db.status(campaign_id).failing_workloads
 
+        self._persist_mechanism_report()
+
         with contextlib.ExitStack() as stack:
             spec = self._campaign._run_spec(stack)
+            if self.config.cross_workload_dedup:
+                # Durable runs keep the sighting cache in the state store
+                # itself, scoped by campaign id: the sighting set is then
+                # exactly as durable as the chunk ledger, and recovery purges
+                # sightings of chunks that never committed — a resumed
+                # campaign's dedup decisions no longer depend on how many
+                # times it was interrupted.
+                spec = replace(spec, global_dedup_cache=db.path,
+                               dedup_scope=campaign_id)
             engine = self._chunk_engine(progress, spec)
 
             def pending_chunks():

@@ -8,7 +8,7 @@ discipline as :class:`~repro.crashmonkey.crashplan.GlobalDedupCache`) before
 anyone hears about it, and a fresh session recovers by resetting whatever was
 in flight when the previous session died.
 
-Three tables:
+Five tables:
 
 * ``campaigns`` — one row per submitted campaign: tenant, label, the full
   serialized :class:`~repro.core.campaign.CampaignConfig` (so any process can
@@ -25,6 +25,17 @@ Three tables:
   chunk whose status is already ``done`` refuses re-ingest entirely, so a
   chunk retried after a crash (or a late pool worker racing a recovery
   session) can never double-count reports or scenario totals.
+* ``dedup_sightings`` — the durable cross-workload dedup cache, scoped per
+  campaign and stamped with the chunk that registered each sighting (written
+  by :class:`~repro.crashmonkey.crashplan.ScopedDedupCache`, same DDL).
+  Keeping it in this file makes the sighting set exactly as durable as the
+  chunk ledger, so resumed ``--cross-workload-dedup`` campaigns stop being
+  history-dependent; :meth:`recover_from_crash` purges sightings from chunks
+  that never committed.
+* ``mechanism_reports`` — one representative serialized
+  :class:`~repro.analysis.mechanisms.MechanismReport` per campaign running
+  the ``mechanism`` crash plan (the static-analysis summary of the recorded
+  family, for post-hoc inspection without re-profiling).
 
 One instance owns one sqlite connection in the process that built it; the
 path, not the object, is what crosses process boundaries.
@@ -80,6 +91,16 @@ CREATE TABLE IF NOT EXISTS results (
     position    INTEGER NOT NULL,
     result_json TEXT NOT NULL,
     PRIMARY KEY (campaign_id, chunk_index, position)
+);
+CREATE TABLE IF NOT EXISTS dedup_sightings (
+    scope       TEXT NOT NULL,
+    key         TEXT NOT NULL,
+    chunk_index INTEGER NOT NULL,
+    PRIMARY KEY (scope, key)
+);
+CREATE TABLE IF NOT EXISTS mechanism_reports (
+    campaign_id TEXT PRIMARY KEY,
+    report_json TEXT NOT NULL
 );
 """
 
@@ -269,16 +290,34 @@ class CampaignStateDB:
         claimed but never committed is handed back to the scheduler.  Scoped
         to one campaign when given, store-wide otherwise.  Returns the number
         of chunks recovered.
+
+        Dedup sightings registered by chunks that never reached ``done`` are
+        purged in the same pass: the crash threw those chunks' results away,
+        so their sightings would wrongly suppress scenarios the re-run still
+        has to test (campaign scope == campaign id by construction).
         """
         if campaign_id is None:
             cursor = self._conn.execute(
                 "UPDATE chunks SET status = 'pending', worker = '' "
                 "WHERE status = 'processing'"
             )
+            self._conn.execute(
+                "DELETE FROM dedup_sightings WHERE NOT EXISTS ("
+                " SELECT 1 FROM chunks WHERE chunks.campaign_id = dedup_sightings.scope"
+                " AND chunks.chunk_index = dedup_sightings.chunk_index"
+                " AND chunks.status = 'done')"
+            )
         else:
             cursor = self._conn.execute(
                 "UPDATE chunks SET status = 'pending', worker = '' "
                 "WHERE campaign_id = ? AND status = 'processing'",
+                (campaign_id,),
+            )
+            self._conn.execute(
+                "DELETE FROM dedup_sightings WHERE scope = ? AND NOT EXISTS ("
+                " SELECT 1 FROM chunks WHERE chunks.campaign_id = dedup_sightings.scope"
+                " AND chunks.chunk_index = dedup_sightings.chunk_index"
+                " AND chunks.status = 'done')",
                 (campaign_id,),
             )
         return cursor.rowcount
@@ -372,6 +411,29 @@ class CampaignStateDB:
                 pass  # no transaction active (COMMIT already failed it away)
             raise
         return True
+
+    # ----------------------------------------------------- mechanism reports
+
+    def save_mechanism_report(self, campaign_id: str, report: dict) -> None:
+        """Persist one campaign's representative mechanism-analysis summary.
+
+        Idempotent: the first stored report wins (the analysis is a pure
+        function of the recorded family, so later sessions re-deriving it
+        produce the same payload and need not overwrite).
+        """
+        self._conn.execute(
+            "INSERT OR IGNORE INTO mechanism_reports (campaign_id, report_json) "
+            "VALUES (?, ?)",
+            (campaign_id, json.dumps(report, sort_keys=True)),
+        )
+
+    def load_mechanism_report(self, campaign_id: str) -> Optional[dict]:
+        """The stored mechanism report, or None when never analyzed."""
+        row = self._conn.execute(
+            "SELECT report_json FROM mechanism_reports WHERE campaign_id = ?",
+            (campaign_id,),
+        ).fetchone()
+        return None if row is None else json.loads(row[0])
 
     # ---------------------------------------------------------------- results
 

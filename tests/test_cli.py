@@ -167,6 +167,60 @@ class TestCrashPlanFlags:
             main(["test", str(workload_file), "--reorder-bound", "0"])
 
 
+class TestMechanismCli:
+    WORKLOAD = "creat foo\nwrite foo 0 4096\nfsync foo\nsync\n"
+
+    def test_list_planners_flag_names_every_registered_plan(self, capsys):
+        from repro.crashmonkey import PLAN_NAMES
+
+        assert main(["test", "--list-planners"]) == 0
+        out = capsys.readouterr().out
+        for name in PLAN_NAMES:
+            assert name in out
+        assert main(["campaign", "--list-planners"]) == 0
+        assert "mechanism" in capsys.readouterr().out
+
+    def test_analyze_prints_the_report_without_running_crash_states(self, tmp_path, capsys):
+        workload_file = tmp_path / "both.wl"
+        workload_file.write_text(self.WORKLOAD)
+        assert main(["analyze", str(workload_file), "--filesystem", "f2fs"]) == 0
+        out = capsys.readouterr().out
+        assert "mechanism report" in out
+        assert "journal-commit" in out
+        assert "checkpoint-generation" in out
+        assert "x reduction" in out
+        assert "fleet cost" in out
+
+    def test_analyze_json_out_carries_report_and_counts(self, tmp_path, capsys):
+        import json as json_module
+
+        workload_file = tmp_path / "both.wl"
+        workload_file.write_text(self.WORKLOAD)
+        json_out = tmp_path / "report.json"
+        assert main(["analyze", str(workload_file), "--filesystem", "f2fs",
+                     "--json-out", str(json_out)]) == 0
+        capsys.readouterr()
+        payload = json_module.loads(json_out.read_text())
+        assert {e["mechanism"] for e in payload["report"]["evidence"]} \
+            == {"journal-commit", "checkpoint-generation"}
+        assert payload["scenarios_mechanism"] <= payload["scenarios_exhaustive"]
+        assert payload["scenario_reduction"] >= 1.0
+
+    def test_mechanism_campaign_reports_the_torn_bug_set(self, capsys):
+        base = ["campaign", "--filesystem", "f2fs", "--preset", "seq-1",
+                "--limit", "30"]
+        assert main([*base, "--crash-plan", "torn"]) == 1
+        torn_out = capsys.readouterr().out
+        assert main([*base, "--crash-plan", "mechanism"]) == 1
+        mechanism_out = capsys.readouterr().out
+
+        def bug_lines(text):
+            return sorted(line.split("scenario")[0] for line in text.splitlines()
+                          if "Bug report" in line)
+
+        assert bug_lines(torn_out) == bug_lines(mechanism_out)
+
+
 class TestCampaignServiceCommands:
     CAMPAIGN = ["--preset", "seq-1", "--limit", "12", "--chunk-size", "4"]
 

@@ -3,6 +3,7 @@
 import pytest
 
 from repro.crashmonkey import CrashStateGenerator, WorkloadRecorder
+from repro.errors import HarnessError
 from repro.fs import BugConfig
 from repro.workload import parse_workload
 
@@ -73,6 +74,8 @@ class TestCrashStates:
         assert "mounted" in state.describe()
 
     def test_unknown_checkpoint_raises(self):
+        # A promised-but-missing persistence point means the recorded stream
+        # is truncated or corrupt — a harness failure, not a skippable state.
         profile = _profile("creat foo\nfsync foo")
-        with pytest.raises(ValueError):
+        with pytest.raises(HarnessError):
             CrashStateGenerator(profile).generate(7)

@@ -20,6 +20,7 @@ from repro.ace import AceSynthesizer, seq1_bounds
 from repro.core import B3Campaign, CampaignConfig
 from repro.core.dedup import group_reports
 from repro.crashmonkey import (
+    PLAN_NAMES,
     CrashMonkey,
     CrashStateGenerator,
     CrashScenario,
@@ -29,6 +30,7 @@ from repro.crashmonkey import (
     WorkloadRecorder,
     make_planner,
 )
+from repro.errors import HarnessError, WorkloadError
 from repro.engine import HarnessSpec, run_campaign
 from repro.fs import BugConfig, Consequence
 from repro.storage import (
@@ -130,8 +132,14 @@ class TestReorderPlanner:
         planner = make_planner("reorder", reorder_bound=3)
         assert isinstance(planner, ReorderPlanner)
         assert planner.bound == 3
-        with pytest.raises(ValueError):
+
+    def test_make_planner_unknown_name_lists_the_registered_planners(self):
+        with pytest.raises(WorkloadError) as excinfo:
             make_planner("chaos")
+        message = str(excinfo.value)
+        assert "chaos" in message
+        for name in PLAN_NAMES:
+            assert name in message
 
 
 class TestTornWritePlanner:
@@ -251,9 +259,12 @@ def test_replayed_write_count_is_linear_in_log_length():
     assert generator.replayed_write_requests < quadratic
 
 
-def test_unknown_checkpoint_still_raises_value_error():
+def test_unknown_checkpoint_raises_a_harness_error():
+    # A stream with no marker for the requested persistence point is
+    # truncated or corrupt: that is a harness failure (the test harness
+    # wraps it into a HARNESS_ERROR report), never a silent skip.
     profile = _profile("logfs", "creat foo\nfsync foo")
-    with pytest.raises(ValueError):
+    with pytest.raises(HarnessError):
         CrashStateGenerator(profile).generate(9)
 
 

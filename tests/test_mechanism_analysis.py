@@ -1,0 +1,273 @@
+"""Static mechanism analysis: classifier, cursor, report, planner fallback.
+
+Covers the analysis subsystem's three contracts:
+
+* ``classify_write`` is *content-based* — payload and target region must
+  agree, so envelope-shaped bytes outside their region stay data,
+* the :class:`AnalysisCursor` is incremental and copyable (the shared replay
+  trie snapshots it mid-stream) and its report round-trips through JSON,
+* the ``mechanism`` planner never silently under-tests: without an inferred
+  mechanism it delegates verbatim to the exhaustive torn plan, and a
+  truncated recorded stream surfaces as a harness-error report, not a pass.
+"""
+
+import collections
+import dataclasses
+
+from repro.analysis import (
+    AnalysisCursor,
+    MechanismReport,
+    WriteClass,
+    analyze_io_log,
+    classify_write,
+)
+from repro.crashmonkey import (
+    CrashMonkey,
+    CrashStateGenerator,
+    MechanismPlanner,
+    TornWritePlanner,
+    WorkloadRecorder,
+)
+from repro.crashmonkey.report import HARNESS_ERROR, Severity
+from repro.fs import BugConfig, layout
+from repro.storage import IOKind, IORequest
+from repro.workload import parse_workload
+
+from conftest import SMALL_DEVICE_BLOCKS
+
+#: Workload exercising both mechanisms on flashfs: a journal commit epoch
+#: (fsync) and a checkpoint generation commit (sync).
+BOTH_MECHANISMS_WORKLOAD = "creat foo\nwrite foo 0 4096\nfsync foo\nsync"
+
+
+def _profile(fs_name, text, bugs=None):
+    recorder = WorkloadRecorder(fs_name, bugs, device_blocks=SMALL_DEVICE_BLOCKS)
+    return recorder.profile(parse_workload(text))
+
+
+# ------------------------------------------------------------------ classifier
+
+
+class TestClassifyWrite:
+    def test_recognizes_every_class_in_a_real_recording(self):
+        profile = _profile("flashfs", BOTH_MECHANISMS_WORKLOAD)
+        classes = collections.Counter(
+            classify_write(r)[0] for r in profile.io_log if r.is_write
+        )
+        assert classes[WriteClass.JOURNAL] > 0
+        assert classes[WriteClass.CHECKPOINT] > 0
+        assert classes[WriteClass.SUPERBLOCK] > 0
+        assert classes[WriteClass.DATA] > 0
+
+    def test_journal_and_checkpoint_writes_carry_their_envelope_header(self):
+        profile = _profile("flashfs", BOTH_MECHANISMS_WORKLOAD)
+        for request in profile.io_log:
+            if not request.is_write:
+                continue
+            write_class, header = classify_write(request)
+            if write_class in (WriteClass.JOURNAL, WriteClass.CHECKPOINT):
+                assert set(header) == {"generation", "index", "magic"}
+
+    def test_envelope_bytes_outside_their_region_classify_as_data(self):
+        # Rehome a real journal envelope into the data region: the payload
+        # still parses but the region disagrees, so it must stay data.
+        profile = _profile("flashfs", BOTH_MECHANISMS_WORKLOAD)
+        journal = next(
+            r for r in profile.io_log
+            if r.is_write and classify_write(r)[0] == WriteClass.JOURNAL
+        )
+        moved = dataclasses.replace(journal, block=layout.DATA_START + 5)
+        assert classify_write(moved)[0] == WriteClass.DATA
+
+    def test_non_writes_classify_as_data(self):
+        marker = IORequest(seq=1, kind=IOKind.FLUSH)
+        assert classify_write(marker) == (WriteClass.DATA, None)
+
+
+# --------------------------------------------------------------------- cursor
+
+
+class TestAnalysisCursor:
+    def test_incremental_feed_equals_one_shot_analysis(self):
+        profile = _profile("flashfs", BOTH_MECHANISMS_WORKLOAD)
+        cursor = AnalysisCursor()
+        for request in profile.io_log:
+            cursor.feed(request)
+        assert (cursor.finish("flashfs").to_dict()
+                == analyze_io_log(profile.io_log, "flashfs").to_dict())
+
+    def test_copies_are_independent(self):
+        profile = _profile("flashfs", BOTH_MECHANISMS_WORKLOAD)
+        log = profile.io_log
+        half = len(log) // 2
+        cursor = AnalysisCursor().feed_all(log[:half])
+        twin = cursor.copy()
+        cursor.feed_all(log[half:])
+        # The twin still reports the prefix; the original the full stream.
+        assert (twin.finish().to_dict()
+                == AnalysisCursor().feed_all(log[:half]).finish().to_dict())
+        assert cursor.finish("x").to_dict() == analyze_io_log(log, "x").to_dict()
+
+    def test_flashfs_stream_infers_both_mechanisms(self):
+        profile = _profile("flashfs", BOTH_MECHANISMS_WORKLOAD)
+        report = analyze_io_log(profile.io_log, "flashfs")
+        assert set(report.mechanisms) == {"journal-commit", "checkpoint-generation"}
+        for entry in report.evidence:
+            assert entry.epochs > 0
+            assert 0.0 < entry.confidence <= 1.0
+            assert entry.block_ranges and entry.invariant
+
+    def test_pure_data_stream_infers_no_mechanism(self):
+        data = IORequest(seq=1, kind=IOKind.WRITE, block=layout.DATA_START,
+                         data=b"hello")
+        report = analyze_io_log([data])
+        assert not report.has_mechanisms
+        assert "falls back to exhaustive" in report.summary()
+
+
+class TestMechanismReport:
+    def test_round_trips_through_plain_json_dicts(self):
+        profile = _profile("flashfs", BOTH_MECHANISMS_WORKLOAD)
+        report = analyze_io_log(profile.io_log, "flashfs")
+        assert MechanismReport.from_dict(report.to_dict()) == report
+
+    def test_summary_names_the_inferred_mechanisms(self):
+        profile = _profile("flashfs", BOTH_MECHANISMS_WORKLOAD)
+        summary = analyze_io_log(profile.io_log, "flashfs").summary()
+        assert "journal-commit" in summary
+        assert "checkpoint-generation" in summary
+        assert "invariant" in summary
+
+
+# ---------------------------------------------------------- window classification
+
+
+class TestClassifyWindow:
+    def _windows(self, fs_name="flashfs", bugs=None):
+        profile = _profile(fs_name, BOTH_MECHANISMS_WORKLOAD, bugs=bugs)
+        generator = CrashStateGenerator(profile)
+        generator._ensure_built()
+        report = analyze_io_log(profile.io_log, fs_name)
+        return profile, report, [
+            record.window for _, record in sorted(generator._records.items())
+        ]
+
+    def test_without_a_report_every_nonempty_window_is_exhaustive(self):
+        _, _, windows = self._windows()
+        planner = MechanismPlanner()
+        for window in windows:
+            assert planner.classify_window(window) in (
+                planner.WINDOW_EMPTY, planner.WINDOW_EXHAUSTIVE
+            )
+
+    def test_with_the_report_flashfs_windows_are_attributed(self):
+        _, report, windows = self._windows()
+        planner = MechanismPlanner()
+        planner.attach_report(report)
+        kinds = {planner.classify_window(window) for window in windows}
+        assert planner.WINDOW_MECHANISM in kinds
+        assert planner.WINDOW_EXHAUSTIVE not in kinds
+
+    def test_windows_with_no_droppable_writes_are_empty(self):
+        planner = MechanismPlanner()
+        planner.attach_report(MechanismReport(
+            fs_name="", total_requests=0, write_requests=0, checkpoints=0,
+            evidence=(), unattributed_window_writes=0,
+        ))
+        assert planner.classify_window([]) == planner.WINDOW_EMPTY
+
+
+# ------------------------------------------------------------------- fallback
+
+
+class TestExhaustiveFallback:
+    def test_unattributed_windows_get_the_torn_plan_verbatim(self):
+        # No report attached: every window must delegate to the exhaustive
+        # planner — same scenarios, in the same order.
+        profile = _profile("flashfs", BOTH_MECHANISMS_WORKLOAD)
+        generator = CrashStateGenerator(profile)
+        generator._ensure_built()
+        planner = MechanismPlanner(reorder_bound=2, torn_bound=2)
+        torn = TornWritePlanner(torn_bound=2, reorder_bound=2)
+        compared = 0
+        for checkpoint_id, record in sorted(generator._records.items()):
+            assert (list(planner.scenarios(checkpoint_id, record.window))
+                    == list(torn.scenarios(checkpoint_id, record.window)))
+            compared += 1
+        assert compared > 0
+
+    def test_unanalyzed_mechanism_harness_reports_the_torn_bug_set(self):
+        # analyze_mechanisms=False leaves the planner report-less, so the
+        # whole workload runs the exhaustive fallback — and says so in the
+        # fallback counter.
+        workload = parse_workload(BOTH_MECHANISMS_WORKLOAD, name="fallback")
+        mech = CrashMonkey("flashfs", device_blocks=SMALL_DEVICE_BLOCKS,
+                           crash_plan="mechanism", analyze_mechanisms=False
+                           ).test_workload(workload)
+        torn = CrashMonkey("flashfs", device_blocks=SMALL_DEVICE_BLOCKS,
+                           crash_plan="torn").test_workload(workload)
+        assert mech.mechanism_fallback_checkpoints > 0
+        assert mech.scenarios_tested == torn.scenarios_tested
+        assert ({r.group_key() for r in mech.bug_reports}
+                == {r.group_key() for r in torn.bug_reports})
+
+    def test_analyzed_mechanism_harness_counts_no_fallbacks(self):
+        workload = parse_workload(BOTH_MECHANISMS_WORKLOAD, name="analyzed")
+        result = CrashMonkey("flashfs", device_blocks=SMALL_DEVICE_BLOCKS,
+                             crash_plan="mechanism").test_workload(workload)
+        assert result.mechanism_checkpoints > 0
+        assert result.mechanism_fallback_checkpoints == 0
+
+
+# ------------------------------------------------------------- corrupt streams
+
+
+class TestCorruptStreamIsNeverAPass:
+    def _truncated_harness(self, monkeypatch, crash_plan):
+        harness = CrashMonkey("flashfs", device_blocks=SMALL_DEVICE_BLOCKS,
+                              crash_plan=crash_plan)
+        real_profile = harness.recorder.profile
+
+        def truncated(workload):
+            profile = real_profile(workload)
+            # Drop the tail of the recording: the last persistence point's
+            # marker never made it into the stream, but the oracle for it
+            # exists — an internally inconsistent recording.
+            keep = [r.seq for r in profile.io_log if r.is_checkpoint][-1]
+            profile.io_log = tuple(r for r in profile.io_log if r.seq < keep)
+            return profile
+
+        monkeypatch.setattr(harness.recorder, "profile", truncated)
+        return harness
+
+    def test_truncated_io_log_surfaces_as_a_harness_error(self, monkeypatch):
+        harness = self._truncated_harness(monkeypatch, "mechanism")
+        result = harness.test_workload(
+            parse_workload(BOTH_MECHANISMS_WORKLOAD, name="truncated")
+        )
+        assert not result.passed
+        report = result.bug_reports[-1]
+        assert report.primary.consequence == HARNESS_ERROR
+        assert Severity.rank_of(HARNESS_ERROR) == 0
+        assert report.checkpoint_id == -1
+
+    def test_the_exhaustive_plans_surface_the_same_harness_error(self, monkeypatch):
+        for plan in ("prefix", "reorder", "torn"):
+            harness = self._truncated_harness(monkeypatch, plan)
+            result = harness.test_workload(
+                parse_workload(BOTH_MECHANISMS_WORKLOAD, name=f"truncated-{plan}")
+            )
+            assert not result.passed
+            assert result.bug_reports[-1].primary.consequence == HARNESS_ERROR
+
+    def test_mechanism_counters_are_canonical_but_not_session_fields(self):
+        from repro.crashmonkey.report import CrashTestResult
+
+        result = CrashTestResult(
+            workload=parse_workload("creat foo\nsync", name="fields"),
+            fs_type="flashfs", fs_model="flashfs",
+        )
+        canonical = result.canonical_dict()
+        assert "mechanism_checkpoints" in canonical
+        assert "mechanism_fallback_checkpoints" in canonical
+        assert "mechanism_checkpoints" not in CrashTestResult.SESSION_FIELDS

@@ -1,0 +1,121 @@
+"""Proven soundness of mechanism pruning: exhaustive-comparison harness.
+
+The ``mechanism`` planner claims its representative crash states find every
+bug the exhaustive planners find.  That claim is *proven by comparison*, not
+assumed: these tests run the pruned and the exhaustive campaigns side by
+side and assert the reported bug set — ``(checkpoint, primary consequence)``
+per workload — is identical,
+
+* over the **full seq-1 space** of all four simulated file systems, and
+* over a **seq-2 slice** of the write-heavy flashfs family, where the
+  pruning must also deliver at least a 3x scenario-count reduction.
+
+Any divergence here means a representative state stopped representing its
+equivalence class — a soundness regression, never an acceptable trade.
+"""
+
+import pytest
+
+from repro.ace import AceSynthesizer, seq1_bounds, seq2_bounds
+from repro.ace.adapter import CrashMonkeyAdapter
+from repro.crashmonkey import CrashMonkey
+
+from conftest import SMALL_DEVICE_BLOCKS
+
+#: seq-2 slice size: large enough to cover every flashfs window shape the
+#: slice's sibling families produce, small enough for CI.
+SEQ2_SLICE = 60
+
+#: the acceptance bar for the seq-2 pruning (ISSUE: >= 3x on a seq-2 family)
+MIN_SEQ2_REDUCTION = 3.0
+
+
+def _bug_set(result):
+    """The campaign-visible finding set: primary consequence per checkpoint."""
+    return {(r.checkpoint_id, r.primary.consequence)
+            for r in result.bug_reports if r.primary}
+
+
+def _scenario_count(result):
+    """All enumerated scenarios, whether executed or dedup-skipped."""
+    return result.scenarios_tested + result.deduped_scenarios
+
+
+def _harnesses(fs_name):
+    mechanism = CrashMonkey(fs_name, device_blocks=SMALL_DEVICE_BLOCKS,
+                            crash_plan="mechanism")
+    torn = CrashMonkey(fs_name, device_blocks=SMALL_DEVICE_BLOCKS,
+                       crash_plan="torn")
+    return mechanism, torn
+
+
+@pytest.mark.parametrize("fs_name", ["logfs", "seqfs", "flashfs", "verifs"])
+def test_full_seq1_bug_set_is_identical_to_the_exhaustive_plan(fs_name):
+    """Every seq-1 workload: pruned findings == exhaustive findings."""
+    mechanism, torn = _harnesses(fs_name)
+    tested = fallbacks = 0
+    for workload in AceSynthesizer(seq1_bounds()).stream():
+        exhaustive = torn.test_workload(workload)
+        pruned = mechanism.test_workload(workload)
+        assert _bug_set(pruned) == _bug_set(exhaustive), (
+            f"{fs_name} {workload.display_name()}: pruned bug set diverged"
+        )
+        assert _scenario_count(pruned) <= _scenario_count(exhaustive)
+        fallbacks += pruned.mechanism_fallback_checkpoints
+        tested += 1
+    assert tested > 0
+    # Every window the analysis saw was attributed — nothing was delegated
+    # back to the exhaustive plan out of caution.
+    assert fallbacks == 0
+
+
+def test_seq1_flashfs_pruning_actually_prunes():
+    """The identical bug set is reached with strictly fewer crash states."""
+    mechanism, torn = _harnesses("flashfs")
+    pruned = exhaustive = mech_checkpoints = 0
+    for workload in AceSynthesizer(seq1_bounds()).stream():
+        exhaustive += _scenario_count(torn.test_workload(workload))
+        result = mechanism.test_workload(workload)
+        pruned += _scenario_count(result)
+        mech_checkpoints += result.mechanism_checkpoints
+    assert mech_checkpoints > 0
+    assert exhaustive / pruned >= MIN_SEQ2_REDUCTION
+
+
+def test_seq2_slice_bug_set_identity_and_reduction():
+    """The seq-2 acceptance bar: same bugs, >= 3x fewer scenarios."""
+    mechanism, torn = _harnesses("flashfs")
+    adapter = CrashMonkeyAdapter(mechanism.fs_name)
+    workloads = list(adapter.adapt_stream(
+        AceSynthesizer(seq2_bounds()).stream(limit=SEQ2_SLICE)
+    ))
+    assert len(workloads) > 0
+    pruned = exhaustive = 0
+    for workload in workloads:
+        exhaustive_result = torn.test_workload(workload)
+        pruned_result = mechanism.test_workload(workload)
+        assert _bug_set(pruned_result) == _bug_set(exhaustive_result), (
+            f"{workload.display_name()}: pruned bug set diverged"
+        )
+        assert pruned_result.mechanism_fallback_checkpoints == 0
+        exhaustive += _scenario_count(exhaustive_result)
+        pruned += _scenario_count(pruned_result)
+    reduction = exhaustive / pruned
+    assert reduction >= MIN_SEQ2_REDUCTION, (
+        f"seq-2 reduction {reduction:.2f}x fell below {MIN_SEQ2_REDUCTION}x "
+        f"({exhaustive} exhaustive vs {pruned} pruned scenarios)"
+    )
+
+
+@pytest.mark.parametrize("fs_name", ["seqfs", "flashfs"])
+def test_seq2_exhaustive_only_filesystems_also_agree(fs_name):
+    """A broader (mechanism-light) seq-2 sample stays divergence-free."""
+    mechanism, torn = _harnesses(fs_name)
+    adapter = CrashMonkeyAdapter(mechanism.fs_name)
+    for workload in adapter.adapt_stream(
+        AceSynthesizer(seq2_bounds()).sample(20)
+    ):
+        assert (_bug_set(mechanism.test_workload(workload))
+                == _bug_set(torn.test_workload(workload))), (
+            f"{fs_name} {workload.display_name()}: pruned bug set diverged"
+        )

@@ -9,6 +9,7 @@ wall-clock timing and prefix/replay sharing telemetry legitimately differ
 between schedules (see ``CrashTestResult.SESSION_FIELDS``).
 """
 
+import dataclasses
 import os
 import signal
 import subprocess
@@ -165,6 +166,85 @@ def test_resume_with_changed_config_is_rejected(tmp_path):
             runner.run()
     finally:
         runner.close()
+
+
+# ------------------------------------------------------- durable dedup sightings
+
+
+def _dedup_config() -> CampaignConfig:
+    # A contiguous seq-2 prefix: sibling families share persistence-point
+    # keys, so the cross-workload cache genuinely skips checkpoints (a
+    # sampled slice scatters the families and never hits the cache).
+    return dataclasses.replace(_config(), sample=False, cross_workload_dedup=True)
+
+
+def test_resumed_dedup_campaign_matches_the_uninterrupted_run(tmp_path):
+    """Sliced sessions see exactly the sightings their committed chunks left.
+
+    Before the sighting cache was persisted through the state store, every
+    resumed session restarted it empty: how many times a campaign was
+    interrupted changed which checkpoints were skipped, so the scenario and
+    dedup counters were history-dependent.  Now they must be identical.
+    """
+    reference = DurableCampaignRunner(_dedup_config(), str(tmp_path / "ref.sqlite"),
+                                      campaign_id="ref")
+    try:
+        uninterrupted = reference.run()
+    finally:
+        reference.close()
+    assert uninterrupted is not None
+    assert sum(r.cross_deduped_scenarios for r in uninterrupted.results) > 0, (
+        "need cross-workload dedup hits for the comparison to mean anything"
+    )
+
+    db_path = str(tmp_path / "sliced.sqlite")
+    sliced = None
+    sessions = 0
+    for _ in range(100):
+        runner = DurableCampaignRunner(_dedup_config(), db_path, campaign_id="sliced")
+        try:
+            sliced = runner.run(max_chunks=2)
+        finally:
+            runner.close()
+        sessions += 1
+        if sliced is not None:
+            break
+    assert sliced is not None and sessions > 2
+    assert sliced.canonical_dict() == uninterrupted.canonical_dict()
+
+
+def test_recovery_purges_sightings_of_uncommitted_chunks(tmp_path):
+    """An in-flight chunk's sightings die with it; a committed chunk's persist."""
+    from repro.crashmonkey import ScopedDedupCache
+    from repro.engine.backends import ChunkOutcome
+    from repro.service.api import config_to_dict
+
+    db_path = str(tmp_path / "state.sqlite")
+    with CampaignStateDB(db_path) as db:
+        db.create_campaign("camp", config_to_dict(_config()), tenant="default",
+                           label="seq-2", fs_name="btrfs", fs_model="logfs")
+        db.register_chunks("camp", [(0, "key0", 1), (1, "key1", 1)])
+        db.claim_chunk("camp", 0)
+        db.claim_chunk("camp", 1)
+
+        cache = ScopedDedupCache(db.path, "camp")
+        cache.set_chunk(0)
+        assert cache.first_sighting(("committed", 1))
+        cache.set_chunk(1)
+        assert cache.first_sighting(("in-flight", 2))
+        cache.close()
+
+        # Chunk 0 commits; chunk 1 is still processing when the session dies.
+        db.ingest_outcome("camp", ChunkOutcome(index=0, results=[], seconds=0.0))
+        assert db.recover_from_crash("camp") == 1
+
+        cache = ScopedDedupCache(db.path, "camp")
+        # The committed chunk's sighting survived recovery ...
+        assert not cache.first_sighting(("committed", 1))
+        # ... the uncommitted chunk's was purged: its re-run must re-test.
+        cache.set_chunk(1)
+        assert cache.first_sighting(("in-flight", 2))
+        cache.close()
 
 
 def test_default_campaign_id_is_config_deterministic():
