@@ -45,6 +45,9 @@ class WriteClass:
     JOURNAL = "journal"          #: log-area chunk envelope (``B3-LOG``)
     CHECKPOINT = "checkpoint"    #: checkpoint-area chunk envelope (``B3-CKPT``)
     SUPERBLOCK = "superblock"    #: block 0 superblock JSON (``B3-REPRO-FS``)
+    SEGMENT = "segment"          #: LSW segment-record envelope (``B3-SEG``)
+    SEGMENT_SUMMARY = "segment-summary"  #: lazily-written segment-usage cache
+    REPLICA = "replica"          #: replica-superblock JSON at its mirror block
     DATA = "data"                #: anything else (file data, unrecognized)
 
 
@@ -75,20 +78,35 @@ def classify_write(request: IORequest) -> Tuple[str, Optional[dict]]:
     if not request.is_write or request.block is None or request.data is None:
         return WriteClass.DATA, None
     block = request.block
-    if block == layout.SUPERBLOCK_BLOCK:
+    if block == layout.SUPERBLOCK_BLOCK or block == layout.REPLICA_SUPERBLOCK_BLOCK:
         payload = _decode_block_json(request.data)
         if payload is not None and payload.get("magic") == layout.SUPERBLOCK_MAGIC:
-            return WriteClass.SUPERBLOCK, payload
+            if block == layout.SUPERBLOCK_BLOCK:
+                return WriteClass.SUPERBLOCK, payload
+            return WriteClass.REPLICA, payload
         return WriteClass.DATA, None
     header = layout.parse_chunk_header(_first_sector(request.data))
-    if header is None:
-        return WriteClass.DATA, None
-    in_log = layout.LOG_START <= block < layout.DATA_START
+    in_log = layout.LOG_START <= block < layout.SEGMENT_START
     in_checkpoint = layout.CHECKPOINT_A_START <= block < layout.LOG_START
-    if header["magic"] == layout.LOG_MAGIC and in_log:
-        return WriteClass.JOURNAL, header
-    if header["magic"] == layout.CHECKPOINT_MAGIC and in_checkpoint:
-        return WriteClass.CHECKPOINT, header
+    if header is not None:
+        if header["magic"] == layout.LOG_MAGIC and in_log:
+            return WriteClass.JOURNAL, header
+        if header["magic"] == layout.CHECKPOINT_MAGIC and in_checkpoint:
+            return WriteClass.CHECKPOINT, header
+        return WriteClass.DATA, None
+    if block == layout.SEGMENT_SUMMARY_BLOCK:
+        payload = _decode_block_json(request.data)
+        if payload is not None and payload.get("magic") == layout.SEGMENT_SUMMARY_MAGIC:
+            return WriteClass.SEGMENT_SUMMARY, payload
+        return WriteClass.DATA, None
+    segment_header = layout.parse_segment_header(_first_sector(request.data))
+    in_segment = layout.SEGMENT_START <= block < layout.SEGMENT_SUMMARY_BLOCK
+    if (
+        segment_header is not None
+        and segment_header["magic"] == layout.SEGMENT_MAGIC
+        and in_segment
+    ):
+        return WriteClass.SEGMENT, segment_header
     return WriteClass.DATA, None
 
 
@@ -141,6 +159,64 @@ class MechanismEvidence:
 
 
 @dataclass(frozen=True)
+class AuditCheck:
+    """One contract check the auditor ran against one mechanism claim."""
+
+    name: str
+    passed: bool
+    detail: str = ""
+
+    def to_dict(self) -> dict:
+        return {"name": self.name, "passed": self.passed, "detail": self.detail}
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "AuditCheck":
+        return cls(
+            name=payload.get("name", ""),
+            passed=bool(payload.get("passed", False)),
+            detail=payload.get("detail", ""),
+        )
+
+
+@dataclass(frozen=True)
+class AuditVerdict:
+    """The contract auditor's verdict on one mechanism's claims.
+
+    A failed verdict demotes the mechanism's evidence: its windows fall back
+    to the exhaustive plan, so an unsound claim can only cost scenarios,
+    never coverage.
+    """
+
+    mechanism: str
+    ok: bool
+    checks: Tuple[AuditCheck, ...]
+
+    def failed_checks(self) -> Tuple[AuditCheck, ...]:
+        return tuple(check for check in self.checks if not check.passed)
+
+    def to_dict(self) -> dict:
+        return {
+            "mechanism": self.mechanism,
+            "ok": self.ok,
+            "checks": [check.to_dict() for check in self.checks],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "AuditVerdict":
+        return cls(
+            mechanism=payload.get("mechanism", ""),
+            ok=bool(payload.get("ok", False)),
+            checks=tuple(AuditCheck.from_dict(c) for c in payload.get("checks", [])),
+        )
+
+
+#: schema version of :meth:`MechanismReport.to_dict` payloads.  Version 2
+#: added the LSW / replicated-metadata families, audit verdicts, and demoted
+#: evidence.
+REPORT_SCHEMA = 2
+
+
+@dataclass(frozen=True)
 class MechanismReport:
     """Typed result of a static pass over one recorded write stream."""
 
@@ -152,6 +228,12 @@ class MechanismReport:
     #: in-flight writes at persistence points not attributed to any mechanism
     #: (the planner must fall back to exhaustive enumeration for those)
     unattributed_window_writes: int
+    #: contract-auditor verdicts, one per originally-claimed mechanism
+    #: (empty when the report has not been audited)
+    audit_verdicts: Tuple[AuditVerdict, ...] = ()
+    #: evidence whose claims the auditor rejected; kept for the record but
+    #: invisible to the planner, whose windows fall back to exhaustive
+    demoted_evidence: Tuple[MechanismEvidence, ...] = ()
 
     @property
     def mechanisms(self) -> Tuple[str, ...]:
@@ -161,20 +243,43 @@ class MechanismReport:
     def has_mechanisms(self) -> bool:
         return bool(self.evidence)
 
+    @property
+    def audited(self) -> bool:
+        return bool(self.audit_verdicts)
+
+    @property
+    def demotions(self) -> int:
+        return len(self.demoted_evidence)
+
     def evidence_for(self, mechanism: str) -> Optional[MechanismEvidence]:
         for entry in self.evidence:
             if entry.mechanism == mechanism:
                 return entry
         return None
 
+    def demoted_for(self, mechanism: str) -> Optional[MechanismEvidence]:
+        for entry in self.demoted_evidence:
+            if entry.mechanism == mechanism:
+                return entry
+        return None
+
+    def verdict_for(self, mechanism: str) -> Optional[AuditVerdict]:
+        for verdict in self.audit_verdicts:
+            if verdict.mechanism == mechanism:
+                return verdict
+        return None
+
     def to_dict(self) -> dict:
         return {
+            "schema": REPORT_SCHEMA,
             "fs_name": self.fs_name,
             "total_requests": self.total_requests,
             "write_requests": self.write_requests,
             "checkpoints": self.checkpoints,
             "evidence": [e.to_dict() for e in self.evidence],
             "unattributed_window_writes": self.unattributed_window_writes,
+            "audit_verdicts": [v.to_dict() for v in self.audit_verdicts],
+            "demoted_evidence": [e.to_dict() for e in self.demoted_evidence],
         }
 
     @classmethod
@@ -188,6 +293,12 @@ class MechanismReport:
                 MechanismEvidence.from_dict(e) for e in payload.get("evidence", [])
             ),
             unattributed_window_writes=int(payload.get("unattributed_window_writes", 0)),
+            audit_verdicts=tuple(
+                AuditVerdict.from_dict(v) for v in payload.get("audit_verdicts", [])
+            ),
+            demoted_evidence=tuple(
+                MechanismEvidence.from_dict(e) for e in payload.get("demoted_evidence", [])
+            ),
         )
 
     def summary(self) -> str:
@@ -197,7 +308,7 @@ class MechanismReport:
             f"{self.total_requests} recorded requests "
             f"({self.write_requests} writes, {self.checkpoints} persistence points)",
         ]
-        if not self.evidence:
+        if not self.evidence and not self.demoted_evidence:
             lines.append(
                 "  no persistence mechanism inferred — the mechanism planner "
                 "falls back to exhaustive enumeration"
@@ -210,6 +321,17 @@ class MechanismReport:
                 f"confidence {entry.confidence:.2f}"
             )
             lines.append(f"    invariant: {entry.invariant}")
+        for verdict in self.audit_verdicts:
+            if verdict.ok:
+                lines.append(f"  audit {verdict.mechanism}: ok "
+                             f"({len(verdict.checks)} checks passed)")
+            else:
+                failed = "; ".join(
+                    f"{check.name}: {check.detail}" for check in verdict.failed_checks()
+                )
+                lines.append(
+                    f"  audit {verdict.mechanism}: DEMOTED to exhaustive — {failed}"
+                )
         if self.unattributed_window_writes:
             lines.append(
                 f"  {self.unattributed_window_writes} in-flight write(s) at "
@@ -233,6 +355,23 @@ _CHECKPOINT_INVARIANT = (
 
 
 # ----------------------------------------------------------------------- cursor
+
+
+def _make_lsw_reasoner():
+    # Imported lazily: reasoners.py imports the evidence types from this
+    # module, so a top-level import here would be circular.
+    from .reasoners import LogStructuredWriteReasoner
+    return LogStructuredWriteReasoner()
+
+
+def _make_replica_reasoner():
+    from .reasoners import ReplicatedMetadataReasoner
+    return ReplicatedMetadataReasoner()
+
+
+#: cursor fields that hold mutable/nested state and therefore need explicit
+#: handling in :meth:`AnalysisCursor.copy`, ``to_dict`` and ``from_dict``
+_CURSOR_NESTED_FIELDS = ("fence_edges", "lsw", "replicas")
 
 
 @dataclass
@@ -276,15 +415,45 @@ class AnalysisCursor:
 
     #: stream indices of observed fence edges (flushes / FUA commits), capped
     fence_edges: List[int] = field(default_factory=list)
+
+    # per-family reasoners for the LSW and replicated-metadata mechanisms
+    lsw: "LogStructuredWriteReasoner" = field(default_factory=_make_lsw_reasoner)  # noqa: F821
+    replicas: "ReplicatedMetadataReasoner" = field(default_factory=_make_replica_reasoner)  # noqa: F821
+
     _FENCE_EDGE_CAP = 64
 
     def copy(self) -> "AnalysisCursor":
         twin = AnalysisCursor(**{
             name: value for name, value in self.__dict__.items()
-            if name != "fence_edges"
+            if name not in _CURSOR_NESTED_FIELDS
         })
         twin.fence_edges = list(self.fence_edges)
+        twin.lsw = self.lsw.copy()
+        twin.replicas = self.replicas.copy()
         return twin
+
+    def to_dict(self) -> dict:
+        """JSON-serializable snapshot; round-trips through :meth:`from_dict`."""
+        payload = {
+            name: value for name, value in self.__dict__.items()
+            if name not in _CURSOR_NESTED_FIELDS
+        }
+        payload["fence_edges"] = list(self.fence_edges)
+        payload["lsw"] = self.lsw.to_dict()
+        payload["replicas"] = self.replicas.to_dict()
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "AnalysisCursor":
+        from .reasoners import LogStructuredWriteReasoner, ReplicatedMetadataReasoner
+        data = dict(payload)
+        lsw = LogStructuredWriteReasoner.from_dict(data.pop("lsw", {}))
+        replicas = ReplicatedMetadataReasoner.from_dict(data.pop("replicas", {}))
+        data["fence_edges"] = list(data.get("fence_edges", []))
+        cursor = cls(**data)
+        cursor.lsw = lsw
+        cursor.replicas = replicas
+        return cursor
 
     # ------------------------------------------------------------------ feeding
 
@@ -305,6 +474,7 @@ class AnalysisCursor:
             if self._checkpoint_in_flight:
                 self.checkpoint_unfenced_epochs += 1
                 self._checkpoint_in_flight = 0
+            self.lsw.note_checkpoint()
             self.unattributed_window_writes += self._data_in_flight
             self._data_in_flight = 0
             return
@@ -312,6 +482,12 @@ class AnalysisCursor:
             return
         self.write_requests += 1
         write_class, header = classify_write(request)
+        if write_class not in (WriteClass.SEGMENT, WriteClass.SEGMENT_SUMMARY):
+            # Any non-segment write closes an open record batch: the batch
+            # was not sealed by a flush before other traffic followed it.
+            # (The lazily-written summary is part of the segment protocol
+            # and rides along without affecting the batch.)
+            self.lsw.observe_other_write()
         if write_class == WriteClass.JOURNAL:
             self.journal_writes += 1
             self._journal_in_flight += 1
@@ -322,19 +498,34 @@ class AnalysisCursor:
             self.checkpoint_writes += 1
             self._checkpoint_in_flight += 1
             self._track_checkpoint_block(request.block)
+        elif write_class == WriteClass.SEGMENT:
+            self.lsw.observe_segment(index, header, request.block)
+        elif write_class == WriteClass.SEGMENT_SUMMARY:
+            self.lsw.observe_summary(request.block)
+        elif write_class == WriteClass.REPLICA:
+            self.replicas.observe_replica(header)
+            if request.is_fua:
+                self._note_fence_edge(index)
         elif write_class == WriteClass.SUPERBLOCK:
             self.superblock_commits += 1
             self._observe_superblock(header)
+            self.replicas.observe_primary(index, header, bool(request.is_fua))
+            # A committed superblock names a new generation: the segment
+            # area resets with it, so the lsn era restarts.
+            self.lsw.note_area_reset()
             if request.is_fua:
                 # The FUA superblock is itself a fence edge for its own block
                 # (it is durable on completion), but it does *not* fence the
                 # checkpoint chunks before it — only a flush does that.
                 self._note_fence_edge(index)
         else:
-            if layout.LOG_START <= (request.block or 0) < layout.DATA_START:
+            block = request.block or 0
+            if layout.LOG_START <= block < layout.SEGMENT_START:
                 # A log-area write whose envelope did not parse: the journal
                 # structure is broken, not merely absent.
                 self.journal_malformed += 1
+            elif layout.SEGMENT_START <= block < layout.REPLICA_SUPERBLOCK_BLOCK:
+                self.lsw.observe_malformed()
             self._data_in_flight += 1
 
     def feed_all(self, requests: Iterable[IORequest]) -> "AnalysisCursor":
@@ -344,6 +535,7 @@ class AnalysisCursor:
 
     def _fence(self, index: int) -> None:
         self._note_fence_edge(index)
+        self.lsw.note_fence(index)
         if self._journal_in_flight:
             self.journal_fenced_epochs += 1
             self._journal_in_flight = 0
@@ -422,6 +614,10 @@ class AnalysisCursor:
                 confidence=confidence,
                 invariant=_CHECKPOINT_INVARIANT,
             ))
+        for reasoner in (self.lsw, self.replicas):
+            family_evidence = reasoner.finish()
+            if family_evidence is not None:
+                evidence.append(family_evidence)
         return MechanismReport(
             fs_name=fs_name,
             total_requests=self.total_requests,

@@ -68,6 +68,13 @@ def _positive_int(value: str) -> int:
     return number
 
 
+def _positive_float(value: str) -> float:
+    number = float(value)
+    if number <= 0:
+        raise argparse.ArgumentTypeError("must be a positive number")
+    return number
+
+
 def _bounds_from_args(args) -> Bounds:
     if args.preset:
         return _BOUND_PRESETS[args.preset]()
@@ -341,6 +348,8 @@ def cmd_submit(args) -> int:
 
 
 def cmd_serve(args) -> int:
+    import signal
+
     def narrate(tenant: str, campaign_id: str, completed: bool) -> None:
         state = "completed" if completed else "slice done, requeued"
         print(f"  [{tenant}] {campaign_id}: {state}", file=sys.stderr)
@@ -352,7 +361,23 @@ def cmd_serve(args) -> int:
         progress=_print_progress if args.progress else None,
         on_slice=narrate,
     ) as service:
-        served = service.serve(max_slices=args.max_slices)
+        previous = {}
+        if args.watch is not None:
+            # Watch mode runs unattended; a supervisor stops it with
+            # SIGTERM.  The handler only requests a stop — the in-flight
+            # slice finishes and commits, so shutdown is never a crash.
+            def _request_stop(signum, frame):
+                print("stop requested; finishing the current slice",
+                      file=sys.stderr)
+                service.request_stop()
+
+            for signum in (signal.SIGTERM, signal.SIGINT):
+                previous[signum] = signal.signal(signum, _request_stop)
+        try:
+            served = service.serve(max_slices=args.max_slices, watch=args.watch)
+        finally:
+            for signum, handler in previous.items():
+                signal.signal(signum, handler)
         print(f"served {served} slice(s)")
         for usage in service.tenant_usage().values():
             print(usage.describe())
@@ -427,6 +452,7 @@ def cmd_analyze(args) -> int:
     projected fleet-cost reduction.  No crash state is constructed, mounted
     or checked.
     """
+    from ..analysis.audit import audit_report
     from ..analysis.mechanisms import analyze_io_log
     from ..cluster.cost import CostModel
     from ..crashmonkey.replayer import CrashStateGenerator
@@ -436,15 +462,24 @@ def cmd_analyze(args) -> int:
     workload = parse_workload(text, name=args.workload)
     harness = CrashMonkey(args.filesystem, bugs=_bugs_from_args(args))
     profile = harness.profile(workload)
-    report = analyze_io_log(profile.io_log, fs_name=harness.fs_name)
+    report = audit_report(
+        analyze_io_log(profile.io_log, fs_name=harness.fs_name), profile.io_log
+    )
     print(report.summary())
 
     exhaustive = sum(1 for _ in CrashStateGenerator(
         profile, planner=make_planner("torn", args.reorder_bound, args.torn_bound),
     ).scenario_plan())
-    pruned = sum(1 for _ in CrashStateGenerator(
+    mechanism_generator = CrashStateGenerator(
         profile, planner=make_planner("mechanism", args.reorder_bound, args.torn_bound),
-    ).scenario_plan())
+    )
+    pruned = sum(1 for _ in mechanism_generator.scenario_plan())
+    window_kinds = mechanism_generator.window_kinds()
+    if window_kinds:
+        described = ", ".join(
+            f"{kind}: {count}" for kind, count in sorted(window_kinds.items())
+        )
+        print(f"checkpoint windows: {described}")
     reduction = exhaustive / pruned if pruned else 1.0
     print(f"crash scenarios: torn plan {exhaustive}, mechanism plan {pruned} "
           f"({reduction:.2f}x reduction)")
@@ -452,12 +487,15 @@ def cmd_analyze(args) -> int:
     print(f"projected 48h fleet cost: ${model.paper_48h_cost():.2f} exhaustive, "
           f"${model.pruned_campaign_cost(48.0, reduction):.2f} with this pruning")
     if args.json_out:
-        payload = {
-            "report": report.to_dict(),
+        # The full MechanismReport.to_dict() payload (its "schema" key
+        # versions the whole document) plus the planning counts on top.
+        payload = report.to_dict()
+        payload.update({
             "scenarios_exhaustive": exhaustive,
             "scenarios_mechanism": pruned,
             "scenario_reduction": reduction,
-        }
+            "window_kinds": window_kinds,
+        })
         with open(args.json_out, "w", encoding="utf-8") as handle:
             json.dump(payload, handle, indent=2, sort_keys=True)
             handle.write("\n")
@@ -552,6 +590,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="stop after N slices (default: drain the queue)")
     serve.add_argument("--progress", action="store_true",
                        help="print a progress line per completed chunk")
+    serve.add_argument("--watch", type=_positive_float, default=None,
+                       metavar="SECONDS",
+                       help="keep serving: re-poll an empty queue every "
+                            "SECONDS instead of exiting (SIGTERM finishes "
+                            "the current slice, then stops cleanly)")
 
     status = sub.add_parser("status", help="show campaign progress in a state store")
     status.add_argument("--state-db", metavar="PATH", required=True)

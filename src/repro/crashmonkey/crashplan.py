@@ -192,7 +192,9 @@ class ReorderPlanner(CrashPlanner):
 #: Tag values the fs layer stamps on writes to the commit-critical disk areas.
 #: The torn planner spends its tear budget on these first: a torn data block
 #: loses one file's bytes, a torn commit structure can take down recovery.
-_COMMIT_AREA_TAGS = frozenset({"superblock", "checkpoint", "log"})
+_COMMIT_AREA_TAGS = frozenset(
+    {"superblock", "checkpoint", "log", "segment", "segment_summary"}
+)
 
 
 class TornWritePlanner(ReorderPlanner):
@@ -269,7 +271,7 @@ class MechanismPlanner(CrashPlanner):
     (attached per workload via :meth:`attach_report` before enumeration) plus
     a content classification of each checkpoint's in-flight window to emit
     only the states that are *distinguishable under the mechanism's recovery
-    invariant*.  The droppable writes of a window are decomposed into three
+    invariant*.  The droppable writes of a window are decomposed into five
     component kinds (a window may mix them — e.g. flashfs commits a log entry,
     data blocks and a checkpoint chunk inside one fsync epoch):
 
@@ -291,18 +293,37 @@ class MechanismPlanner(CrashPlanner):
       content differ) — so the representative first chunk is torn at the
       two extreme cuts (first sector only, all but the last sector), one
       per class, instead of at every cut.
+    * **segment records** (LSW segment-area envelopes under a monotonic
+      lsn): recovery scans the segment area to the last valid record and
+      stops, so — exactly like journal entries — every drop/tear combination
+      collapses to "records valid up to record *r*".  Emitted: one
+      drop-first-block state per in-flight record.
+    * **segment summaries** (the lazily-written segment-usage cache):
+      recovery rebuilds segment usage from the record scan and never reads
+      the summary block, so a dropped, rewritten or torn summary is
+      unobservable — the component contributes *zero* scenarios beyond the
+      baseline.
     * **data blocks** (data-area content): a crashed data block is
       distinguishable only per block — which of its in-flight writes landed
       last — never in combination with other blocks (recovery does not read
       one file's content to interpret another's).  Emitted: per data block,
       one drop-suffix state per non-empty suffix of its writes, alone.
 
+    Replica-set transitions (the FUA-committed superblock pair of the
+    replicated-metadata family) never put droppable writes in a window —
+    FUA writes are durable on completion — so a window whose only writes
+    are the replica pair is classified ``replica-transition`` and tests the
+    baseline alone: one representative state per transition.
+
     Soundness is by construction, not trust: any window containing a write
-    the reasoners cannot attribute (a droppable superblock, envelope-shaped
-    bytes outside their region, a rewritten log/checkpoint block) — and any
-    workload whose report inferred no mechanism at all — is delegated
-    verbatim to the exhaustive :class:`TornWritePlanner`, never silently
-    under-tested.  The exhaustive-comparison tests
+    the reasoners cannot attribute (a droppable superblock or replica copy,
+    envelope-shaped bytes outside their region, a rewritten log/checkpoint
+    block) — and any workload whose report inferred no mechanism at all —
+    is delegated verbatim to the exhaustive :class:`TornWritePlanner`,
+    never silently under-tested.  Windows whose explaining evidence the
+    contract auditor *demoted* are classified ``demoted`` and delegated the
+    same way, but counted separately so harness results show when the
+    fallback was audit-driven.  The exhaustive-comparison tests
     (`tests/test_mechanism_soundness.py`) pin the pruned bug set to the
     exhaustive one over the seq-1 space and a seq-2 slice.
     """
@@ -313,6 +334,8 @@ class MechanismPlanner(CrashPlanner):
     WINDOW_EMPTY = "empty"
     WINDOW_MECHANISM = "mechanism"
     WINDOW_EXHAUSTIVE = "exhaustive"
+    WINDOW_DEMOTED = "demoted"
+    WINDOW_REPLICA = "replica-transition"
 
     def __init__(self, reorder_bound: int = 2, torn_bound: int = 2):
         self._fallback = TornWritePlanner(torn_bound=torn_bound, reorder_bound=reorder_bound)
@@ -330,43 +353,92 @@ class MechanismPlanner(CrashPlanner):
 
     # ------------------------------------------------------------ classification
 
+    #: droppable write class → the mechanism family whose invariant covers it
+    _CLASS_FAMILIES = {
+        WriteClass.JOURNAL: "journal-commit",
+        WriteClass.CHECKPOINT: "checkpoint-generation",
+        WriteClass.SEGMENT: "log-structured-write",
+        WriteClass.SEGMENT_SUMMARY: "log-structured-write",
+        WriteClass.SUPERBLOCK: "replicated-metadata",
+        WriteClass.REPLICA: "replicated-metadata",
+    }
+
     def classify_window(self, window: Sequence[IORequest]) -> str:
         """Which pruning (if any) applies to a checkpoint's in-flight window."""
         by_block = ReorderPlanner._droppable_by_block(window)
         if not by_block:
+            if any(
+                request.is_write
+                and classify_write(request)[0] == WriteClass.REPLICA
+                for request in window
+            ):
+                # The window's writes are the FUA-committed replica pair:
+                # one representative state per replica-set transition, which
+                # is the baseline itself.
+                return self.WINDOW_REPLICA
             return self.WINDOW_EMPTY
         report = self._report
-        if report is None or not report.has_mechanisms:
+        if report is None or not (report.has_mechanisms or report.demotions):
             return self.WINDOW_EXHAUSTIVE
         parts = self._decompose(window)
         if parts is None:
+            if self._touches_demoted(by_block, report):
+                return self.WINDOW_DEMOTED
             return self.WINDOW_EXHAUSTIVE
-        entries, chunks, _ = parts
-        if entries and not report.evidence_for("journal-commit"):
-            return self.WINDOW_EXHAUSTIVE
-        if chunks and not report.evidence_for("checkpoint-generation"):
-            return self.WINDOW_EXHAUSTIVE
+        entries, chunks, segments, summaries, _ = parts
+        for component, mechanism in (
+            (entries, "journal-commit"),
+            (chunks, "checkpoint-generation"),
+            (segments, "log-structured-write"),
+            (summaries, "log-structured-write"),
+        ):
+            if component and not report.evidence_for(mechanism):
+                if report.demoted_for(mechanism):
+                    return self.WINDOW_DEMOTED
+                return self.WINDOW_EXHAUSTIVE
         return self.WINDOW_MECHANISM
+
+    def _touches_demoted(self, by_block: Dict[int, List[IORequest]],
+                         report: MechanismReport) -> bool:
+        """Whether an unattributable window holds writes of a demoted family.
+
+        Distinguishes audit-driven fallbacks (the reasoner claimed the
+        family, the auditor rejected the claim) from plain unattributed
+        ones, so harness counters surface which windows the audit cost.
+        """
+        for writes in by_block.values():
+            for request in writes:
+                family = self._CLASS_FAMILIES.get(classify_write(request)[0])
+                if family and report.demoted_for(family):
+                    return True
+        return False
 
     @staticmethod
     def _decompose(
         window: Sequence[IORequest],
     ) -> Optional[Tuple[List[List[IORequest]], List[IORequest],
+                        List[List[IORequest]], List[IORequest],
                         List[Tuple[int, List[IORequest]]]]]:
         """Split the droppable writes into (journal entries, checkpoint
-        chunks, data blocks); ``None`` when any write defies attribution.
+        chunks, segment records, segment summaries, data blocks); ``None``
+        when any write defies attribution.
 
         Attribution is strict — the caller falls back to the exhaustive plan
-        on ``None``: log/checkpoint blocks rewritten within one window, a
-        droppable (non-FUA) superblock write, envelope-shaped payloads
-        outside their region, inconsistent entry/chunk indexing, or chunks
-        from more than one in-flight generation all disqualify the window.
+        on ``None``: log/checkpoint/segment blocks rewritten within one
+        window, a droppable (non-FUA) superblock or replica write,
+        envelope-shaped payloads outside their region, inconsistent
+        entry/chunk/record indexing, or chunks from more than one in-flight
+        generation all disqualify the window.  The summary block is the one
+        exception to the rewrite rule: it is a lazily-rewritten cache, and
+        rewrites are as unobservable as drops.
         """
         from ..fs import layout
 
         by_block = ReorderPlanner._droppable_by_block(window)
         journal: List[IORequest] = []
         chunk_headers: List[Tuple[dict, IORequest]] = []
+        segment: List[IORequest] = []
+        summaries: List[IORequest] = []
         data: List[Tuple[int, List[IORequest]]] = []
         for block in sorted(by_block):
             writes = by_block[block]
@@ -380,6 +452,12 @@ class MechanismPlanner(CrashPlanner):
                     return None  # one chunk write per block per generation
                 header = classify_write(writes[0])[1]
                 chunk_headers.append((header, writes[0]))
+            elif kinds == {WriteClass.SEGMENT}:
+                if len(writes) != 1:
+                    return None  # append-only segment never rewrites a block
+                segment.append(writes[0])
+            elif kinds == {WriteClass.SEGMENT_SUMMARY}:
+                summaries.extend(writes)
             elif kinds == {WriteClass.DATA} and block >= layout.DATA_START:
                 data.append((block, list(writes)))
             else:
@@ -387,19 +465,14 @@ class MechanismPlanner(CrashPlanner):
         # Journal component: group into entries by envelope index (an entry
         # starts at index 0 and continues with contiguous indices, in append
         # order).
-        journal.sort(key=lambda request: request.seq)
-        entries: List[List[IORequest]] = []
-        expected_index = 0
-        for request in journal:
-            header = classify_write(request)[1]
-            if header["index"] == 0:
-                entries.append([request])
-                expected_index = 1
-            elif entries and header["index"] == expected_index:
-                entries[-1].append(request)
-                expected_index += 1
-            else:
-                return None
+        entries = MechanismPlanner._group_by_index(journal)
+        if entries is None:
+            return None
+        # Segment component: records group exactly like journal entries —
+        # the envelope index restarts at 0 per record and runs contiguously.
+        records = MechanismPlanner._group_by_index(segment)
+        if records is None:
+            return None
         # Checkpoint component: exactly the chunk set 0..k-1 of one in-flight
         # generation (one commit).
         if chunk_headers:
@@ -409,26 +482,52 @@ class MechanismPlanner(CrashPlanner):
             if [h["index"] for h, _ in chunk_headers] != list(range(len(chunk_headers))):
                 return None
         chunks = [request for _, request in chunk_headers]
-        return entries, chunks, data
+        return entries, chunks, records, summaries, data
+
+    @staticmethod
+    def _group_by_index(
+        writes: List[IORequest],
+    ) -> Optional[List[List[IORequest]]]:
+        """Group append-ordered envelope writes into index-contiguous units."""
+        writes = sorted(writes, key=lambda request: request.seq)
+        groups: List[List[IORequest]] = []
+        expected_index = 0
+        for request in writes:
+            header = classify_write(request)[1]
+            if header["index"] == 0:
+                groups.append([request])
+                expected_index = 1
+            elif groups and header["index"] == expected_index:
+                groups[-1].append(request)
+                expected_index += 1
+            else:
+                return None
+        return groups
 
     # ------------------------------------------------------------ enumeration
 
     def scenarios(self, checkpoint_id: int,
                   window: Sequence[IORequest]) -> Iterator[CrashScenario]:
         kind = self.classify_window(window)
-        if kind == self.WINDOW_EXHAUSTIVE:
-            # Never silently under-test: unattributed windows (and workloads
-            # with no inferred mechanism) get the full exhaustive plan.
+        if kind in (self.WINDOW_EXHAUSTIVE, self.WINDOW_DEMOTED):
+            # Never silently under-test: unattributed windows, workloads
+            # with no inferred mechanism, and windows whose evidence the
+            # contract auditor demoted all get the full exhaustive plan.
             yield from self._fallback.scenarios(checkpoint_id, window)
             return
         yield CrashScenario(
             checkpoint_id=checkpoint_id,
             plan=self.name,
-            description="baseline: every in-flight write persisted",
+            description=(
+                "replica-set transition: the FUA pair is durable on "
+                "completion, so the baseline is the one representative state"
+                if kind == self.WINDOW_REPLICA
+                else "baseline: every in-flight write persisted"
+            ),
         )
-        if kind == self.WINDOW_EMPTY:
+        if kind in (self.WINDOW_EMPTY, self.WINDOW_REPLICA):
             return
-        entries, chunks, data = self._decompose(window)
+        entries, chunks, records, _summaries, data = self._decompose(window)
         for position, entry in enumerate(entries):
             first = entry[0]
             yield CrashScenario(
@@ -441,6 +540,21 @@ class MechanismPlanner(CrashPlanner):
                     f"{first.block})"
                 ),
             )
+        for position, record in enumerate(records):
+            first = record[0]
+            yield CrashScenario(
+                checkpoint_id=checkpoint_id,
+                plan=self.name,
+                dropped_seqs=(first.seq,),
+                description=(
+                    f"LSW epoch: segment record {position + 1}/{len(records)} "
+                    f"never persisted (recovery's lsn scan stops at block "
+                    f"{first.block})"
+                ),
+            )
+        # Segment summaries contribute nothing: recovery rebuilds segment
+        # usage from the record scan and never reads the summary block, so
+        # every drop/rewrite/tear of it recovers identically to the baseline.
         if chunks:
             first = chunks[0]
             yield CrashScenario(

@@ -198,10 +198,14 @@ class CrashMonkey:
         No crash state is constructed, mounted or checked — this is the pure
         static pass behind the ``analyze`` CLI subcommand.
         """
+        from ..analysis.audit import audit_report
         from ..analysis.mechanisms import analyze_io_log
 
         profile = self.profile(workload)
-        report = analyze_io_log(profile.io_log, fs_name=self.fs_name)
+        report = audit_report(
+            analyze_io_log(profile.io_log, fs_name=self.fs_name),
+            profile.io_log,
+        )
         self.last_mechanism_report = report
         return report
 
@@ -283,6 +287,8 @@ class CrashMonkey:
         result.replay_seconds_saved = generator.replay_seconds_saved
         result.mechanism_checkpoints = generator.mechanism_checkpoints
         result.mechanism_fallback_checkpoints = generator.mechanism_fallback_checkpoints
+        result.mechanism_demoted_checkpoints = generator.mechanism_demoted_checkpoints
+        result.audit_demotions = generator.audit_demotions
         if generator.mechanism_report is not None:
             self.last_mechanism_report = generator.mechanism_report
         return result

@@ -28,6 +28,7 @@ import time
 from dataclasses import dataclass, replace
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
+from ..analysis.audit import audit_report
 from ..analysis.mechanisms import AnalysisCursor, MechanismReport
 from ..errors import HarnessError, UnmountableError
 from ..fs import fsck
@@ -359,6 +360,11 @@ class CrashStateGenerator:
         #: workload — counted before any dedup skipping)
         self.mechanism_checkpoints = 0
         self.mechanism_fallback_checkpoints = 0
+        #: the subset of fallback checkpoints the contract auditor caused
+        #: (windows whose explaining evidence was demoted)
+        self.mechanism_demoted_checkpoints = 0
+        #: evidence claims the contract auditor demoted for this workload
+        self.audit_demotions = 0
         #: skip constructing/checking a checkpoint's scenarios when an earlier
         #: checkpoint provably yields the same states and expectations
         self.dedup_scenarios = dedup_scenarios
@@ -497,7 +503,12 @@ class CrashStateGenerator:
                     )
         self._records = records
         if analysis is not None:
-            self.mechanism_report = analysis.finish(self.profile.fs_name)
+            # Second static pass: the contract auditor re-checks every claim
+            # against the stream's actual fence/FUA edges and demotes violated
+            # ones before any planner consumes the report.
+            report = analysis.finish(self.profile.fs_name)
+            self.mechanism_report = audit_report(report, self.profile.io_log)
+            self.audit_demotions = self.mechanism_report.demotions
         self.build_seconds = time.perf_counter() - start
         return records
 
@@ -517,7 +528,12 @@ class CrashStateGenerator:
         if classify is None:
             return
         kind = classify(window)
-        if kind == "exhaustive":
+        if kind == "demoted":
+            # Audit-driven fallback: exhaustive coverage, attributed to the
+            # auditor rather than to a failure of attribution.
+            self.mechanism_fallback_checkpoints += 1
+            self.mechanism_demoted_checkpoints += 1
+        elif kind == "exhaustive":
             self.mechanism_fallback_checkpoints += 1
         elif kind != "empty":
             self.mechanism_checkpoints += 1
@@ -698,3 +714,21 @@ class CrashStateGenerator:
         for checkpoint_id in checkpoint_ids:
             record = self._record_for(checkpoint_id)
             yield from self.planner.scenarios(checkpoint_id, record.window)
+
+    def window_kinds(self) -> Dict[str, int]:
+        """Classify every persistence point's in-flight window, kind → count.
+
+        Empty for planners without :meth:`classify_window` (prefix, reorder,
+        torn).  Like :meth:`scenario_plan`, no crash state is constructed —
+        this is the attribution view the ``analyze`` subcommand prints.
+        """
+        classify = getattr(self.planner, "classify_window", None)
+        if classify is None:
+            return {}
+        self._ensure_built()
+        self._attach_planner_report()
+        kinds: Dict[str, int] = {}
+        for checkpoint_id in self.profile.checkpoints():
+            kind = classify(self._record_for(checkpoint_id).window)
+            kinds[kind] = kinds.get(kind, 0) + 1
+        return kinds

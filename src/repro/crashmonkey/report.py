@@ -319,6 +319,13 @@ class CrashTestResult:
     #: are schedule-invariant (canonical) rather than session telemetry.
     mechanism_checkpoints: int = 0
     mechanism_fallback_checkpoints: int = 0
+    #: the subset of fallback checkpoints caused by the contract auditor
+    #: demoting a reasoner's claim (exhaustive coverage, audit-attributed)
+    mechanism_demoted_checkpoints: int = 0
+    #: evidence claims the contract auditor demoted for this workload's
+    #: report (0 on a correct file system; >= 1 whenever a reference bug
+    #: breaks a claimed mechanism contract)
+    audit_demotions: int = 0
 
     @property
     def passed(self) -> bool:
@@ -350,6 +357,7 @@ class CrashTestResult:
         "prefix_seconds_saved",
         "replay_shared", "replay_writes_reused", "replay_seconds_saved",
         "mechanism_checkpoints", "mechanism_fallback_checkpoints",
+        "mechanism_demoted_checkpoints", "audit_demotions",
     )
 
     #: fields that describe *how this session happened to run*, not what was

@@ -53,8 +53,7 @@ class AbstractFileSystem:
         self.next_ino = ROOT_INO + 1
         self.allocator = layout.DataAllocator(device.num_blocks)
         self.generation = 0
-        self.next_log_block = layout.LOG_START
-        self.log_seq = 0
+        self._reset_log_cursor()
         self.recovery_ran = False
 
         # Commit tracking: what the on-disk image knows about each inode.
@@ -80,7 +79,7 @@ class AbstractFileSystem:
 
     def mount(self) -> None:
         """Mount the device, running recovery if it was not cleanly unmounted."""
-        superblock = layout.read_superblock(self.device)
+        superblock = self._read_superblock()
         if superblock.fs_type and superblock.fs_type != self.fs_type:
             raise RecoveryError(
                 f"device is formatted as {superblock.fs_type!r}, not {self.fs_type!r}",
@@ -103,19 +102,18 @@ class AbstractFileSystem:
         self._load_meta(payload)
         self.recovery_ran = False
         if not superblock.clean_unmount:
-            entries = layout.read_log_entries(self.device, self.generation)
+            entries = self._read_replay_entries()
             if entries:
                 self._replay_log(entries)
                 self.recovery_ran = True
         self._reset_commit_tracking()
-        self.next_log_block = layout.LOG_START
-        self.log_seq = 0
+        self._reset_log_cursor()
         self.mounted = True
         # Mark the file system dirty on disk, exactly like a kernel mount does;
         # crash states therefore always require recovery.
         superblock.clean_unmount = False
         superblock.fs_type = self.fs_type
-        layout.write_superblock(self.device, superblock)
+        self._write_superblock(superblock)
 
     def unmount(self, safe: bool = True) -> None:
         """Unmount.  A *safe* unmount flushes everything and marks the image clean."""
@@ -124,8 +122,25 @@ class AbstractFileSystem:
             self.sync()
             superblock = self._current_superblock()
             superblock.clean_unmount = True
-            layout.write_superblock(self.device, superblock)
+            self._write_superblock(superblock)
         self.mounted = False
+
+    # -- layout hooks (subclasses reroute these to their own on-disk areas) --
+
+    def _read_superblock(self) -> layout.Superblock:
+        return layout.read_superblock(self.device)
+
+    def _write_superblock(self, superblock: layout.Superblock) -> None:
+        layout.write_superblock(self.device, superblock)
+
+    def _read_replay_entries(self) -> List[dict]:
+        """Entries recovery must replay on top of the mounted checkpoint."""
+        return layout.read_log_entries(self.device, self.generation)
+
+    def _reset_log_cursor(self) -> None:
+        """Reset the append cursor after mkfs, mount, or a checkpoint."""
+        self.next_log_block = layout.LOG_START
+        self.log_seq = 0
 
     def _fallback_checkpoint(self, superblock: layout.Superblock):
         """Recover the previous generation's checkpoint from the other area.
@@ -153,7 +168,7 @@ class AbstractFileSystem:
         return payload, superblock
 
     def _current_superblock(self) -> layout.Superblock:
-        superblock = layout.read_superblock(self.device)
+        superblock = self._read_superblock()
         superblock.fs_type = self.fs_type
         return superblock
 
@@ -754,9 +769,8 @@ class AbstractFileSystem:
             checkpoint_blocks=blocks,
             clean_unmount=clean,
         )
-        layout.write_superblock(self.device, superblock)
-        self.next_log_block = layout.LOG_START
-        self.log_seq = 0
+        self._write_superblock(superblock)
+        self._reset_log_cursor()
 
     def sync(self) -> None:
         """Global sync: flush everything and commit a new checkpoint."""
@@ -1062,7 +1076,7 @@ class AbstractFileSystem:
         # Post-commit barrier: a correct persistence operation does not return
         # until its log entries have left the device cache.  Buggy file
         # systems that skip it leave the entries in-flight at the crash point.
-        if not self._skip_commit_barrier():
+        if not self._skip_commit_seal():
             self._device_flush(sync=True)
         return entries
 
@@ -1071,8 +1085,17 @@ class AbstractFileSystem:
         return False
 
     def _skip_commit_barrier(self) -> bool:
-        """Buggy file systems that omit the post-commit flush override this."""
+        """Buggy file systems that omit the pre-commit flush override this."""
         return False
+
+    def _skip_commit_seal(self) -> bool:
+        """Whether the post-commit flush that seals the entries is omitted.
+
+        Defaults to the pre-commit answer: a file system that skips one
+        barrier typically skips both.  Overridden by bugs that fence the
+        data correctly but let the commit record ride the cache.
+        """
+        return self._skip_commit_barrier()
 
     def _skip_flush_before_fua(self) -> bool:
         """Whether the checkpoint commit omits the flush before the FUA superblock.

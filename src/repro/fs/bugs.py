@@ -221,6 +221,23 @@ def _mechanisms() -> List[BugMechanism]:
             ("new-4", "new-10"),
             "2014",
         ),
+        BugMechanism(
+            "lsw_unfenced_append",
+            logfs,
+            "Segment append never sealed by a flush",
+            "The log-structured append path fences the file data before the "
+            "segment record but never flushes the record itself, so the "
+            "record still rides the disk write cache when fsync reports "
+            "success.  A crash can drop the record while the data survives, "
+            "losing the persistence fsync promised.  Invisible to prefix "
+            "crash states; only reordering or torn plans that drop in-flight "
+            "writes hit it — and the contract auditor demotes the LSW claim "
+            "for the stream, because the claimed sealing fence edges do not "
+            "exist.",
+            Consequence.FILE_MISSING,
+            (),
+            "2017",
+        ),
         # ---------------------------------------------------------------- FlashFS
         BugMechanism(
             "fzero_keep_size_wrong_size",
@@ -300,6 +317,22 @@ def _mechanisms() -> List[BugMechanism]:
             Consequence.DATA_LOSS,
             ("known-4", "table2-5"),
             "2016",
+        ),
+        BugMechanism(
+            "replica_commit_no_fua",
+            seqfs,
+            "Replicated superblock commit drops FUA",
+            "Both copies of the 2-way replicated superblock are written as "
+            "plain cache writes — the commit path trusts the mirror to make "
+            "FUA unnecessary — so a power failure can drop the entire replica "
+            "set and roll the file system back a committed generation.  "
+            "Invisible to prefix crash states; only reordering plans that "
+            "drop both in-flight copies hit it — and the contract auditor "
+            "demotes the replicated-metadata claim for the stream, because "
+            "the claimed fence edges are plain writes, not FUA commits.",
+            Consequence.DATA_LOSS,
+            (),
+            "2017",
         ),
         # ---------------------------------------------------------------- VeriFS
         BugMechanism(

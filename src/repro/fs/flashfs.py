@@ -20,6 +20,10 @@ class FlashFS(LogFS):
 
     fs_type = "flashfs"
 
+    #: F2FS packs fsync'd node blocks into its node journal; FlashFS models
+    #: that with the plain log area rather than LogFS's LSW segment area.
+    uses_segment_area = False
+
     def fdatasync(self, path: str) -> None:
         self._require_mounted()
         inode = self._get_inode(path)

@@ -32,6 +32,8 @@ from ..storage.block import BLOCK_SIZE, SECTOR_SIZE
 SUPERBLOCK_MAGIC = "B3-REPRO-FS"
 CHECKPOINT_MAGIC = "B3-CKPT"
 LOG_MAGIC = "B3-LOG"
+SEGMENT_MAGIC = "B3-SEG"
+SEGMENT_SUMMARY_MAGIC = "B3-SEG-SUM"
 
 SUPERBLOCK_BLOCK = 0
 CHECKPOINT_AREA_BLOCKS = 256  # 1 MiB per checkpoint area
@@ -39,7 +41,21 @@ CHECKPOINT_A_START = 1
 CHECKPOINT_B_START = CHECKPOINT_A_START + CHECKPOINT_AREA_BLOCKS
 LOG_START = CHECKPOINT_B_START + CHECKPOINT_AREA_BLOCKS
 LOG_BLOCKS = 1024  # 4 MiB of log space
-DATA_START = LOG_START + LOG_BLOCKS
+# Log-structured-write (LSW) segment area: append-only records carrying a
+# monotonic sequence tag (lsn) in their header sector.  Recovery scans the
+# area to the last valid record, so only record-boundary suffix loss is
+# observable after a crash.
+SEGMENT_START = LOG_START + LOG_BLOCKS
+SEGMENT_BLOCKS = 255  # ~1 MiB of segment space
+#: segment-usage summary (the LFS/F2FS "SSA" analogue): a cache of what the
+#: segment scan would find, written lazily *after* the sealing flush and
+#: therefore outside the fsync durability contract.  Recovery never reads
+#: it — a mount rebuilds segment usage from the record scan — so a crash
+#: that drops or tears it is unobservable.
+SEGMENT_SUMMARY_BLOCK = SEGMENT_START + SEGMENT_BLOCKS - 1
+#: second copy of the superblock (2-way replicated metadata; newest wins)
+REPLICA_SUPERBLOCK_BLOCK = SEGMENT_START + SEGMENT_BLOCKS
+DATA_START = REPLICA_SUPERBLOCK_BLOCK + 1
 
 
 @dataclass
@@ -332,6 +348,149 @@ def read_log_entries(device, generation: int) -> List[dict]:
         block += total
     entries.sort(key=lambda item: item[0])
     return [entry for _, entry in entries]
+
+
+# -- LSW segment area ---------------------------------------------------------------
+
+
+#: Segment record envelopes are serialized with sorted keys, so ``index``,
+#: ``lsn`` and ``magic`` occupy the first bytes of the block — inside the
+#: first (atomically-persisted) sector.  The lsn is the monotonic sequence
+#: tag of the log-structured-write contract: recovery scans forward and
+#: stops at the first record that is missing, malformed, or non-monotonic,
+#: so a crash can only manifest as record-boundary suffix loss.
+_SEGMENT_HEADER_RE = re.compile(
+    rb'^\{"index": (\d+), "lsn": (\d+), "magic": "([^"]*)"'
+)
+
+
+def parse_segment_header(raw: bytes) -> Optional[dict]:
+    """Parse a segment envelope's identity fields from a block's first sector."""
+    match = _SEGMENT_HEADER_RE.match(raw[:SECTOR_SIZE])
+    if match is None:
+        return None
+    return {
+        "index": int(match.group(1)),
+        "lsn": int(match.group(2)),
+        "magic": match.group(3).decode("utf-8", "replace"),
+    }
+
+
+def _segment_envelopes(payload: dict, lsn: int) -> List[dict]:
+    raw = json.dumps(payload, sort_keys=True)
+    chunk_size = (BLOCK_SIZE - 256) // 2
+    chunks = [raw[offset:offset + chunk_size] for offset in range(0, len(raw), chunk_size)] or [""]
+    return [
+        {
+            "magic": SEGMENT_MAGIC,
+            "lsn": lsn,
+            "index": index,
+            "total": len(chunks),
+            "payload": chunk,
+        }
+        for index, chunk in enumerate(chunks)
+    ]
+
+
+def write_segment_record(device, entry: dict, generation: int, lsn: int,
+                         next_block: int, *, tag: str = "segment") -> int:
+    """Append one segment record starting at ``next_block``.
+
+    Returns the next free segment block.  Raises :class:`FsNoSpaceError`
+    when the segment area is exhausted (callers force a checkpoint, which
+    resets the area).
+    """
+    payload = {"generation": generation, "lsn": lsn, "entry": entry}
+    envelopes = _segment_envelopes(payload, lsn)
+    end_block = next_block + len(envelopes)
+    if end_block > SEGMENT_SUMMARY_BLOCK:
+        raise FsNoSpaceError("segment area exhausted; a checkpoint is required")
+    for offset, envelope in enumerate(envelopes):
+        _write_json_block(device, next_block + offset, envelope, tag=tag)
+    return end_block
+
+
+def read_segment_records(device, generation: int) -> List[dict]:
+    """Scan the segment area to the last valid record of ``generation``.
+
+    This is the LSW recovery contract: the scan stops at the first record
+    that is missing, torn, of a foreign generation, or whose lsn is not
+    strictly greater than its predecessor's.  Everything before the stop
+    point is replayed; everything after it is suffix loss.
+    """
+    entries: List[dict] = []
+    block = SEGMENT_START
+    last_lsn = 0
+    while block < SEGMENT_SUMMARY_BLOCK:
+        first = _read_json_block(device, block)
+        if first is None or first.get("magic") != SEGMENT_MAGIC or first.get("index") != 0:
+            break
+        lsn = int(first.get("lsn", 0))
+        if lsn <= last_lsn:
+            break
+        total = int(first.get("total", 1))
+        if total < 1 or block + total > SEGMENT_SUMMARY_BLOCK:
+            break
+        raw_blocks = [_read_json_block(device, block + offset) for offset in range(total)]
+        if any(chunk is None or chunk.get("lsn") != lsn for chunk in raw_blocks):
+            break
+        payload = _reassemble_chunks(raw_blocks, SEGMENT_MAGIC)
+        if payload is None or int(payload.get("lsn", -1)) != lsn:
+            break
+        if int(payload.get("generation", -1)) != generation:
+            break
+        entries.append(payload.get("entry", {}))
+        last_lsn = lsn
+        block += total
+    return entries
+
+
+def write_segment_summary(device, generation: int, records: int,
+                          next_block: int) -> None:
+    """Write the segment-usage summary block (lazily, never flushed).
+
+    The summary caches what :func:`read_segment_records` would find — how
+    many records the current generation has appended and where the next one
+    goes — for the cleaner's benefit.  It is written *after* the sealing
+    flush of the records it describes, so it rides the device cache: crash
+    recovery must never depend on it, and :func:`read_segment_records`
+    deliberately does not read it (a mount rebuilds segment usage from the
+    record scan).
+    """
+    payload = {
+        "magic": SEGMENT_SUMMARY_MAGIC,
+        "generation": generation,
+        "records": records,
+        "next_block": next_block,
+    }
+    _write_json_block(device, SEGMENT_SUMMARY_BLOCK, payload, tag="segment_summary")
+
+
+# -- replicated superblock ----------------------------------------------------------
+
+
+def write_superblock_pair(device, superblock: Superblock, *, fua: bool = True) -> None:
+    """Write both copies of a 2-way replicated superblock.
+
+    Both copies carry the same generation; recovery reads whichever copies
+    parse and picks the newest.  ``fua=False`` models a buggy commit path
+    that trusts the mirror instead of forcing either copy to media.
+    """
+    payload = superblock.to_json()
+    for block in (SUPERBLOCK_BLOCK, REPLICA_SUPERBLOCK_BLOCK):
+        _write_json_block(device, block, payload, fua=fua, tag="superblock")
+
+
+def read_superblock_pair(device) -> Superblock:
+    """Newest-wins recovery over the replicated superblock pair."""
+    candidates = []
+    for block in (SUPERBLOCK_BLOCK, REPLICA_SUPERBLOCK_BLOCK):
+        payload = _read_json_block(device, block)
+        if payload is not None and payload.get("magic") == SUPERBLOCK_MAGIC:
+            candidates.append(Superblock.from_json(payload))
+    if not candidates:
+        raise CorruptionError("device has no readable superblock replica (not formatted?)")
+    return max(candidates, key=lambda sb: sb.generation)
 
 
 # -- data blocks --------------------------------------------------------------------

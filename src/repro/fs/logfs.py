@@ -12,9 +12,11 @@ log entry records or how replay applies it (see :mod:`repro.fs.bugs`).
 
 from __future__ import annotations
 
-from typing import Optional, Set, Tuple
+from typing import List, Optional, Set, Tuple
 
+from ..errors import FsNoSpaceError
 from ..storage.block import BLOCK_SIZE, blocks_needed
+from . import layout
 from .base import AbstractFileSystem
 from .inode import Inode
 
@@ -23,6 +25,68 @@ class LogFS(AbstractFileSystem):
     """btrfs-like file system with per-inode fsync logging."""
 
     fs_type = "logfs"
+
+    #: LogFS appends its fsync records to the log-structured-write segment
+    #: area: append-only records tagged with a monotonic lsn, recovered by
+    #: scanning to the last valid record.  Subclasses that model a packed
+    #: node journal instead (FlashFS) turn this off and inherit the plain
+    #: log area.
+    uses_segment_area = True
+
+    # ------------------------------------------------------------------ LSW segment log
+
+    def _reset_log_cursor(self) -> None:
+        super()._reset_log_cursor()
+        self.next_segment_block = layout.SEGMENT_START
+        self.segment_lsn = 0
+
+    def _append_log_entry(self, entry: dict) -> None:
+        if not self.uses_segment_area:
+            super()._append_log_entry(entry)
+            return
+        self.segment_lsn += 1
+        try:
+            self.next_segment_block = layout.write_segment_record(
+                self.device, entry, self.generation, self.segment_lsn,
+                self.next_segment_block,
+            )
+        except FsNoSpaceError:
+            # Segment area exhausted: force a full commit, which resets it.
+            self.sync()
+
+    def _read_replay_entries(self) -> List[dict]:
+        if not self.uses_segment_area:
+            return super()._read_replay_entries()
+        # Deliberately ignores the segment-usage summary block: recovery
+        # rebuilds segment usage from the record scan, so a stale, dropped
+        # or torn summary is unobservable after a crash.
+        return layout.read_segment_records(self.device, self.generation)
+
+    def _log_inode(self, inode: Inode, *, datasync: bool = False,
+                   msync_range: Optional[Tuple[int, int]] = None,
+                   embed_children: bool = False, recurse: bool = True) -> List[dict]:
+        entries = super()._log_inode(
+            inode, datasync=datasync, msync_range=msync_range,
+            embed_children=embed_children, recurse=recurse,
+        )
+        if self.uses_segment_area:
+            # Update the segment-usage summary *after* the sealing flush:
+            # like the LFS/F2FS segment summary area it is a lazily-written
+            # cache outside the fsync durability contract, so it rides the
+            # device cache until the next checkpoint.
+            layout.write_segment_summary(
+                self.device, self.generation, self.segment_lsn,
+                self.next_segment_block,
+            )
+        return entries
+
+    def _skip_commit_seal(self) -> bool:
+        # Reference bug for the LSW reasoner: the segment append path fences
+        # the file data correctly but never flushes the appended records, so
+        # they still ride the device cache when fsync returns.
+        if self.bugs.is_enabled("lsw_unfenced_append"):
+            return True
+        return super()._skip_commit_seal()
 
     # ------------------------------------------------------------------ persistence
 

@@ -13,6 +13,7 @@ from __future__ import annotations
 
 from typing import Optional
 
+from . import layout
 from .base import AbstractFileSystem
 from .inode import Inode
 
@@ -21,6 +22,23 @@ class SeqFS(AbstractFileSystem):
     """ext4-like journaling file system."""
 
     fs_type = "seqfs"
+
+    # ------------------------------------------------------------------ replicated superblock
+
+    # SeqFS keeps a 2-way replicated superblock (like xfs's redundant AG
+    # superblocks): every commit writes both copies with the same generation,
+    # and recovery reads whichever copies parse and takes the newest.
+
+    def _read_superblock(self) -> layout.Superblock:
+        return layout.read_superblock_pair(self.device)
+
+    def _write_superblock(self, superblock: layout.Superblock) -> None:
+        # Reference bug for the replicated-metadata reasoner: the buggy
+        # commit path trusts the mirror to make FUA unnecessary and issues
+        # both copies as plain cache writes, so a crash can drop the whole
+        # replica set back a generation.
+        fua = not self.bugs.is_enabled("replica_commit_no_fua")
+        layout.write_superblock_pair(self.device, superblock, fua=fua)
 
     # ------------------------------------------------------------------ persistence
 

@@ -20,6 +20,7 @@ sql over every chunk the fleet ever completed for that tenant.
 
 from __future__ import annotations
 
+import threading
 from typing import Callable, Dict, List, Optional
 
 from ..cluster.scheduler import FairScheduler
@@ -68,6 +69,7 @@ class CampaignService:
         self.progress = progress
         self.on_slice = on_slice
         self.scheduler = FairScheduler()
+        self._stop = threading.Event()
 
     def close(self) -> None:
         if self._owns_db:
@@ -119,18 +121,44 @@ class CampaignService:
             self.on_slice(tenant, campaign_id, result is not None)
         return campaign_id
 
-    def serve(self, max_slices: Optional[int] = None) -> int:
+    def request_stop(self) -> None:
+        """Ask a running :meth:`serve` to return after the current slice.
+
+        Safe from any thread or signal handler: the current slice always
+        finishes (its chunks commit to the state store), so a stop is never
+        a crash — the next ``serve`` has nothing to recover from it.
+        """
+        self._stop.set()
+
+    def serve(self, max_slices: Optional[int] = None,
+              watch: Optional[float] = None) -> int:
         """Drain the queue (recovering crashed chunks first); slices served.
 
-        A real deployment would loop this under a supervisor; bounding
-        ``max_slices`` makes the drain interruptible and testable.
+        With ``watch`` set, an empty queue does not end the serve: the
+        service sleeps ``watch`` seconds and re-polls, picking up campaigns
+        submitted while it slept — the long-lived deployment mode.  It then
+        runs until :meth:`request_stop` (the CLI wires SIGTERM to it) or
+        ``max_slices``.  Without ``watch``, draining the queue returns, which
+        keeps the one-shot mode testable without a supervisor.
         """
         self.db.recover_from_crash()
         served = 0
-        while max_slices is None or served < max_slices:
-            if self.run_slice() is None:
+        while not self._stop.is_set() and (
+            max_slices is None or served < max_slices
+        ):
+            if self.run_slice() is not None:
+                served += 1
+                continue
+            if watch is None:
                 break
-            served += 1
+            # Event.wait doubles as an interruptible sleep: a stop request
+            # mid-poll returns immediately instead of after the interval.
+            if self._stop.wait(timeout=watch):
+                break
+            # A worker that crashed while we slept leaves leased chunks
+            # behind; reclaim them before the next poll the same way a
+            # fresh serve would.
+            self.db.recover_from_crash()
         return served
 
     # -------------------------------------------------------------- queries

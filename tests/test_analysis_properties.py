@@ -1,0 +1,125 @@
+"""Property-based tests for the analysis cursor and report (hypothesis).
+
+The shared-replay trie snapshots :class:`AnalysisCursor` at flush and
+checkpoint barriers and persists it through ``to_dict``, so three
+invariants carry real campaigns:
+
+* ``from_dict(to_dict())`` is the identity — for the cursor mid-stream at
+  any point, and for the :class:`MechanismReport` it finishes into, now
+  including the log-structured-write and replicated-metadata families;
+* a ``copy()`` is independent: feeding the original the rest of the stream
+  never mutates the copy, and feeding both the same suffix converges on
+  the same report;
+* one report never carries two evidence entries for the same mechanism
+  (family names cannot collide across the four reasoners).
+"""
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.analysis import AnalysisCursor, MechanismReport
+from repro.errors import FileSystemError
+from repro.fs import BugConfig
+
+from conftest import make_mounted_fs
+
+#: logfs exercises journal + checkpoint + LSW; seqfs the replica pair.
+FS_NAMES = ("logfs", "seqfs")
+
+_PATHS = ("foo", "bar", "A", "A/foo", "B")
+
+_op_strategy = st.tuples(
+    st.sampled_from(
+        ["creat", "mkdir", "write", "unlink", "rename", "fsync", "sync"]
+    ),
+    st.sampled_from(_PATHS),
+    st.sampled_from(_PATHS),
+    st.integers(min_value=0, max_value=4096),
+    st.integers(min_value=1, max_value=2048),
+)
+
+
+def _recorded_stream(fs_name, ops):
+    """Apply random ops to a recording-backed fs; the recorded request log.
+
+    Persistence ops are followed by a checkpoint marker, mirroring what the
+    harness records, so the stream exercises window/epoch handling too.
+    """
+    fs, recording, _ = make_mounted_fs(fs_name, BugConfig.none())
+    for name, path, other, offset, length in ops:
+        try:
+            if name == "creat":
+                fs.creat(path)
+            elif name == "mkdir":
+                fs.mkdir(path)
+            elif name == "write":
+                fs.write(path, offset, bytes([offset % 251 + 1]) * length)
+            elif name == "unlink":
+                fs.unlink(path)
+            elif name == "rename":
+                fs.rename(path, other)
+            elif name == "fsync":
+                fs.fsync(path)
+            elif name == "sync":
+                fs.sync()
+            else:  # pragma: no cover - strategy and dispatch in lockstep
+                raise AssertionError(name)
+        except FileSystemError:
+            continue
+        if name in ("fsync", "sync"):
+            recording.mark_checkpoint()
+    return list(recording.log)
+
+
+_settings = settings(max_examples=25, deadline=None,
+                     suppress_health_check=[HealthCheck.too_slow])
+
+
+@_settings
+@given(fs_name=st.sampled_from(FS_NAMES),
+       ops=st.lists(_op_strategy, max_size=12),
+       cut=st.integers(min_value=0, max_value=200))
+def test_cursor_to_dict_round_trips_mid_stream(fs_name, ops, cut):
+    stream = _recorded_stream(fs_name, ops)
+    cut = min(cut, len(stream))
+    cursor = AnalysisCursor().feed_all(stream[:cut])
+    restored = AnalysisCursor.from_dict(cursor.to_dict())
+    assert restored.to_dict() == cursor.to_dict()
+    # The restored cursor is a full replacement: fed the same suffix, it
+    # finishes into the identical report.
+    assert (restored.feed_all(stream[cut:]).finish(fs_name)
+            == cursor.feed_all(stream[cut:]).finish(fs_name))
+
+
+@_settings
+@given(fs_name=st.sampled_from(FS_NAMES),
+       ops=st.lists(_op_strategy, max_size=12),
+       cut=st.integers(min_value=0, max_value=200))
+def test_cursor_copy_is_independent_of_further_feeding(fs_name, ops, cut):
+    stream = _recorded_stream(fs_name, ops)
+    cut = min(cut, len(stream))
+    cursor = AnalysisCursor().feed_all(stream[:cut])
+    twin = cursor.copy()
+    frozen = twin.to_dict()
+    cursor.feed_all(stream[cut:])
+    # Feeding the original never leaks into the copy (no shared mutable
+    # state across fence_edges or the nested reasoners)...
+    assert twin.to_dict() == frozen
+    # ...and the copy converges when fed the same suffix itself.
+    assert twin.feed_all(stream[cut:]).finish(fs_name) == cursor.finish(fs_name)
+
+
+@_settings
+@given(fs_name=st.sampled_from(FS_NAMES),
+       ops=st.lists(_op_strategy, max_size=12))
+def test_report_round_trips_and_families_never_collide(fs_name, ops):
+    stream = _recorded_stream(fs_name, ops)
+    report = AnalysisCursor().feed_all(stream).finish(fs_name)
+    payload = report.to_dict()
+    assert payload["schema"] == 2
+    restored = MechanismReport.from_dict(payload)
+    assert restored == report
+    assert restored.to_dict() == payload
+    # One evidence entry per family, in the kept and the demoted lists both.
+    assert len(set(report.mechanisms)) == len(report.mechanisms)
+    demoted = [e.mechanism for e in report.demoted_evidence]
+    assert len(set(demoted)) == len(demoted)

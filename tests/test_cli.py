@@ -188,10 +188,12 @@ class TestMechanismCli:
         assert "mechanism report" in out
         assert "journal-commit" in out
         assert "checkpoint-generation" in out
+        assert "audit journal-commit: ok" in out
+        assert "checkpoint windows:" in out
         assert "x reduction" in out
         assert "fleet cost" in out
 
-    def test_analyze_json_out_carries_report_and_counts(self, tmp_path, capsys):
+    def test_analyze_json_out_is_the_full_schema2_report(self, tmp_path, capsys):
         import json as json_module
 
         workload_file = tmp_path / "both.wl"
@@ -201,10 +203,21 @@ class TestMechanismCli:
                      "--json-out", str(json_out)]) == 0
         capsys.readouterr()
         payload = json_module.loads(json_out.read_text())
-        assert {e["mechanism"] for e in payload["report"]["evidence"]} \
+        assert payload["schema"] == 2
+        assert {e["mechanism"] for e in payload["evidence"]} \
             == {"journal-commit", "checkpoint-generation"}
+        # The report is audited before it is written: every claim passed.
+        assert {v["mechanism"] for v in payload["audit_verdicts"]} \
+            == {"journal-commit", "checkpoint-generation"}
+        assert all(v["ok"] for v in payload["audit_verdicts"])
+        assert payload["demoted_evidence"] == []
         assert payload["scenarios_mechanism"] <= payload["scenarios_exhaustive"]
         assert payload["scenario_reduction"] >= 1.0
+        assert sum(payload["window_kinds"].values()) == payload["checkpoints"]
+        # The full MechanismReport schema round-trips from the file.
+        from repro.analysis import MechanismReport
+        restored = MechanismReport.from_dict(payload)
+        assert restored.audited and restored.demotions == 0
 
     def test_mechanism_campaign_reports_the_torn_bug_set(self, capsys):
         base = ["campaign", "--filesystem", "f2fs", "--preset", "seq-1",

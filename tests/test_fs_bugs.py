@@ -28,7 +28,7 @@ class TestBugCatalogue:
         # Matches the paper's observation that btrfs had by far the most bugs.
         counts = {fs: len(mechanisms_for(fs)) for fs in ("logfs", "seqfs", "flashfs", "verifs")}
         assert counts["logfs"] == max(counts.values())
-        assert counts["seqfs"] <= 3
+        assert counts["seqfs"] <= 4
 
     def test_get_mechanism_unknown_id(self):
         with pytest.raises(KeyError):
@@ -276,6 +276,22 @@ MECHANISM_WORKLOADS = [
         sync
         """,
     ),
+    (
+        "lsw_unfenced_append", "logfs", """
+        creat foo
+        write foo 0 4096
+        fsync foo
+        """,
+    ),
+    (
+        "replica_commit_no_fua", "seqfs", """
+        creat foo
+        write foo 0 4096
+        sync
+        write foo 4096 4096
+        sync
+        """,
+    ),
 ]
 
 
@@ -288,6 +304,9 @@ MECHANISM_WORKLOADS = [
 REORDER_ONLY_MECHANISMS = {
     "fsync_no_flush": {"crash_plan": "reorder", "reorder_bound": 1},
     "missing_flush_before_fua": {"crash_plan": "torn", "torn_bound": 1},
+    "lsw_unfenced_append": {"crash_plan": "reorder", "reorder_bound": 1},
+    # Dropping the whole replica set takes both in-flight superblock copies.
+    "replica_commit_no_fua": {"crash_plan": "reorder", "reorder_bound": 2},
 }
 
 

@@ -19,6 +19,7 @@ from repro.analysis import (
     MechanismReport,
     WriteClass,
     analyze_io_log,
+    audit_report,
     classify_write,
 )
 from repro.crashmonkey import (
@@ -137,6 +138,95 @@ class TestMechanismReport:
         assert "journal-commit" in summary
         assert "checkpoint-generation" in summary
         assert "invariant" in summary
+
+
+# ----------------------------------------------------------------- new families
+
+
+class TestNewFamilyInference:
+    def test_logfs_stream_infers_the_lsw_family(self):
+        profile = _profile("logfs", BOTH_MECHANISMS_WORKLOAD,
+                           bugs=BugConfig.none())
+        report = analyze_io_log(profile.io_log, "logfs")
+        lsw = report.evidence_for("log-structured-write")
+        assert lsw is not None
+        assert lsw.epochs > 0
+        assert 0.0 < lsw.confidence <= 1.0
+        (low, high), = lsw.block_ranges
+        assert layout.SEGMENT_START <= low <= high <= layout.SEGMENT_SUMMARY_BLOCK
+        assert "lsn" in lsw.invariant
+
+    def test_seqfs_stream_infers_the_replicated_metadata_family(self):
+        profile = _profile("seqfs", BOTH_MECHANISMS_WORKLOAD,
+                           bugs=BugConfig.none())
+        report = analyze_io_log(profile.io_log, "seqfs")
+        replica = report.evidence_for("replicated-metadata")
+        assert replica is not None
+        assert replica.epochs > 0
+        assert set(replica.block_ranges) == {
+            (layout.SUPERBLOCK_BLOCK, layout.SUPERBLOCK_BLOCK),
+            (layout.REPLICA_SUPERBLOCK_BLOCK, layout.REPLICA_SUPERBLOCK_BLOCK),
+        }
+        assert "replica" in replica.invariant
+
+    def test_flashfs_stream_stays_two_family(self):
+        # No segment area, no replica pair: the new reasoners must not
+        # hallucinate their families onto a journaling stream.
+        profile = _profile("flashfs", BOTH_MECHANISMS_WORKLOAD)
+        report = analyze_io_log(profile.io_log, "flashfs")
+        assert set(report.mechanisms) == {"journal-commit", "checkpoint-generation"}
+
+
+class TestContractAuditor:
+    def test_correct_streams_audit_clean(self):
+        for fs_name in ("logfs", "seqfs", "flashfs", "verifs"):
+            profile = _profile(fs_name, BOTH_MECHANISMS_WORKLOAD,
+                               bugs=BugConfig.none())
+            report = audit_report(
+                analyze_io_log(profile.io_log, fs_name), profile.io_log
+            )
+            assert report.audited, fs_name
+            assert report.demotions == 0, fs_name
+            assert all(v.ok for v in report.audit_verdicts), fs_name
+            # One verdict per surviving claim — nothing escapes the audit.
+            assert {v.mechanism for v in report.audit_verdicts} \
+                == set(report.mechanisms), fs_name
+
+    def test_unfenced_append_demotes_the_lsw_claim(self):
+        profile = _profile("logfs", BOTH_MECHANISMS_WORKLOAD,
+                           bugs=BugConfig.only("lsw_unfenced_append"))
+        report = audit_report(
+            analyze_io_log(profile.io_log, "logfs"), profile.io_log
+        )
+        assert report.evidence_for("log-structured-write") is None
+        assert report.demoted_for("log-structured-write") is not None
+        verdict = report.verdict_for("log-structured-write")
+        assert not verdict.ok
+        # The skipped sealing flush makes the claimed fence a plain write.
+        assert any(c.name == "fence-edges-exist" for c in verdict.failed_checks())
+        assert "DEMOTED" in report.summary()
+
+    def test_replica_no_fua_demotes_the_replica_claim(self):
+        profile = _profile("seqfs", BOTH_MECHANISMS_WORKLOAD,
+                           bugs=BugConfig.only("replica_commit_no_fua"))
+        report = audit_report(
+            analyze_io_log(profile.io_log, "seqfs"), profile.io_log
+        )
+        assert report.evidence_for("replicated-metadata") is None
+        assert report.demoted_for("replicated-metadata") is not None
+        verdict = report.verdict_for("replicated-metadata")
+        assert not verdict.ok
+        assert any(c.name == "fence-edges-exist" for c in verdict.failed_checks())
+
+    def test_audited_report_round_trips_with_verdicts(self):
+        profile = _profile("logfs", BOTH_MECHANISMS_WORKLOAD,
+                           bugs=BugConfig.only("lsw_unfenced_append"))
+        report = audit_report(
+            analyze_io_log(profile.io_log, "logfs"), profile.io_log
+        )
+        restored = MechanismReport.from_dict(report.to_dict())
+        assert restored == report
+        assert restored.demotions == report.demotions
 
 
 # ---------------------------------------------------------- window classification

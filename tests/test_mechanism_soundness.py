@@ -6,9 +6,19 @@ assumed: these tests run the pruned and the exhaustive campaigns side by
 side and assert the reported bug set — ``(checkpoint, primary consequence)``
 per workload — is identical,
 
-* over the **full seq-1 space** of all four simulated file systems, and
+* over the **full seq-1 space** of all four simulated file systems (with
+  each family's reference bugs enabled, so audit demotions fire and the
+  fallback windows they cause still find the same bugs),
 * over a **seq-2 slice** of the write-heavy flashfs family, where the
-  pruning must also deliver at least a 3x scenario-count reduction.
+  pruning must also deliver at least a 3x scenario-count reduction, and
+* over a **seq-2 slice** of the log-structured logfs family, where pruning
+  segment-record windows must deliver at least a 2x reduction.
+
+The contract auditor gets its own obligations: a *correct* file system
+(every reference bug patched out) must produce **zero** demotions and zero
+fallbacks, while each of the two contract-violating reference bugs must
+provably *fire* the demotion path — and the demoted (exhaustive-fallback)
+windows must still catch the bug the pruned plan would otherwise miss.
 
 Any divergence here means a representative state stopped representing its
 equivalence class — a soundness regression, never an acceptable trade.
@@ -19,6 +29,8 @@ import pytest
 from repro.ace import AceSynthesizer, seq1_bounds, seq2_bounds
 from repro.ace.adapter import CrashMonkeyAdapter
 from repro.crashmonkey import CrashMonkey
+from repro.crashmonkey.crashplan import PLAN_NAMES
+from repro.fs.bugs import BugConfig
 
 from conftest import SMALL_DEVICE_BLOCKS
 
@@ -28,6 +40,18 @@ SEQ2_SLICE = 60
 
 #: the acceptance bar for the seq-2 pruning (ISSUE: >= 3x on a seq-2 family)
 MIN_SEQ2_REDUCTION = 3.0
+
+#: logfs seq-2: segment windows prune to the baseline (recovery ignores the
+#: lazily-written usage summary), so >= 2x over the torn plan is the bar
+LOGFS_SEQ2_SLICE = 30
+MIN_LOGFS_SEQ2_REDUCTION = 2.0
+
+ALL_FS = ["logfs", "seqfs", "flashfs", "verifs"]
+
+#: the two reference bugs that violate a claimed mechanism contract; each
+#: must demonstrably fire the auditor's demotion path on its file system
+CONTRACT_BUGS = [("logfs", "lsw_unfenced_append"),
+                 ("seqfs", "replica_commit_no_fua")]
 
 
 def _bug_set(result):
@@ -41,19 +65,47 @@ def _scenario_count(result):
     return result.scenarios_tested + result.deduped_scenarios
 
 
-def _harnesses(fs_name):
+def _harnesses(fs_name, bugs=None):
     mechanism = CrashMonkey(fs_name, device_blocks=SMALL_DEVICE_BLOCKS,
-                            crash_plan="mechanism")
+                            crash_plan="mechanism", bugs=bugs)
     torn = CrashMonkey(fs_name, device_blocks=SMALL_DEVICE_BLOCKS,
-                       crash_plan="torn")
+                       crash_plan="torn", bugs=bugs)
     return mechanism, torn
 
 
-@pytest.mark.parametrize("fs_name", ["logfs", "seqfs", "flashfs", "verifs"])
+# ------------------------------------------------------------ registry coverage
+
+def test_parametrization_covers_the_whole_planner_registry():
+    """Keeps the explicit plan-name parametrize below in sync with the
+    registry (and the repo linter's soundness-coverage rule honest)."""
+    assert set(PLAN_NAMES) == {"prefix", "reorder", "torn", "mechanism"}
+
+
+@pytest.mark.parametrize("plan", ["prefix", "reorder", "torn", "mechanism"])
+def test_every_registered_planner_runs_a_campaign(plan):
+    """Every registry entry drives a real campaign: at least the baseline
+    state per persistence point, and never fewer scenarios than prefix."""
+    harness = CrashMonkey("flashfs", device_blocks=SMALL_DEVICE_BLOCKS,
+                          crash_plan=plan)
+    workload = next(AceSynthesizer(seq1_bounds()).stream())
+    result = harness.test_workload(workload)
+    assert result.checkpoints_tested > 0
+    assert _scenario_count(result) >= result.checkpoints_tested
+
+
+# ------------------------------------------------------------- seq-1 identity
+
+@pytest.mark.parametrize("fs_name", ALL_FS)
 def test_full_seq1_bug_set_is_identical_to_the_exhaustive_plan(fs_name):
-    """Every seq-1 workload: pruned findings == exhaustive findings."""
+    """Every seq-1 workload: pruned findings == exhaustive findings.
+
+    Reference bugs stay enabled (the default), so on logfs and seqfs the
+    contract auditor demotes the violated family and parts of the campaign
+    run on the exhaustive fallback — the identity must hold *through* that
+    demotion, and every fallback must be one the auditor caused.
+    """
     mechanism, torn = _harnesses(fs_name)
-    tested = fallbacks = 0
+    tested = fallbacks = demoted = 0
     for workload in AceSynthesizer(seq1_bounds()).stream():
         exhaustive = torn.test_workload(workload)
         pruned = mechanism.test_workload(workload)
@@ -62,25 +114,60 @@ def test_full_seq1_bug_set_is_identical_to_the_exhaustive_plan(fs_name):
         )
         assert _scenario_count(pruned) <= _scenario_count(exhaustive)
         fallbacks += pruned.mechanism_fallback_checkpoints
+        demoted += pruned.mechanism_demoted_checkpoints
         tested += 1
     assert tested > 0
-    # Every window the analysis saw was attributed — nothing was delegated
-    # back to the exhaustive plan out of caution.
+    # Every fallback is audit-attributed: a window is delegated back to the
+    # exhaustive plan only because the auditor demoted its family's claim,
+    # never because attribution silently failed.
+    assert fallbacks == demoted
+
+
+@pytest.mark.parametrize("fs_name", ALL_FS)
+def test_correct_filesystems_audit_clean_over_seq1(fs_name):
+    """With every reference bug patched out, the auditor demotes nothing and
+    no window falls back: each claimed contract survives its audit."""
+    harness = CrashMonkey(fs_name, device_blocks=SMALL_DEVICE_BLOCKS,
+                          crash_plan="mechanism", bugs=BugConfig.none())
+    demotions = fallbacks = tested = 0
+    for workload in AceSynthesizer(seq1_bounds()).stream():
+        result = harness.test_workload(workload)
+        assert _bug_set(result) == set(), (
+            f"{fs_name} {workload.display_name()}: patched fs reported a bug"
+        )
+        demotions += result.audit_demotions
+        fallbacks += result.mechanism_fallback_checkpoints
+        tested += 1
+    assert tested > 0
+    assert demotions == 0
     assert fallbacks == 0
 
 
-def test_seq1_flashfs_pruning_actually_prunes():
-    """The identical bug set is reached with strictly fewer crash states."""
-    mechanism, torn = _harnesses("flashfs")
-    pruned = exhaustive = mech_checkpoints = 0
-    for workload in AceSynthesizer(seq1_bounds()).stream():
-        exhaustive += _scenario_count(torn.test_workload(workload))
-        result = mechanism.test_workload(workload)
-        pruned += _scenario_count(result)
-        mech_checkpoints += result.mechanism_checkpoints
-    assert mech_checkpoints > 0
-    assert exhaustive / pruned >= MIN_SEQ2_REDUCTION
+# --------------------------------------------------------- demotion soundness
 
+@pytest.mark.parametrize("fs_name,bug_id", CONTRACT_BUGS)
+def test_contract_bugs_fire_the_demotion_path_and_stay_caught(fs_name, bug_id):
+    """Each contract-violating reference bug must (a) demote its family's
+    claim at least once and (b) still be found by the pruned campaign —
+    the demoted windows' exhaustive fallback is what finds it."""
+    mechanism, torn = _harnesses(fs_name, bugs=BugConfig.only(bug_id))
+    demotions = demoted_windows = 0
+    pruned_bugs = set()
+    for workload in AceSynthesizer(seq1_bounds()).stream():
+        exhaustive = torn.test_workload(workload)
+        pruned = mechanism.test_workload(workload)
+        assert _bug_set(pruned) == _bug_set(exhaustive), (
+            f"{fs_name} {workload.display_name()}: pruned bug set diverged"
+        )
+        demotions += pruned.audit_demotions
+        demoted_windows += pruned.mechanism_demoted_checkpoints
+        pruned_bugs |= _bug_set(pruned)
+    assert demotions >= 1, f"{bug_id} never demoted a claim"
+    assert demoted_windows >= 1, f"{bug_id} never forced a fallback window"
+    assert pruned_bugs, f"{bug_id} was never observed by the pruned campaign"
+
+
+# ------------------------------------------------------------- seq-2 slices
 
 def test_seq2_slice_bug_set_identity_and_reduction():
     """The seq-2 acceptance bar: same bugs, >= 3x fewer scenarios."""
@@ -103,6 +190,36 @@ def test_seq2_slice_bug_set_identity_and_reduction():
     reduction = exhaustive / pruned
     assert reduction >= MIN_SEQ2_REDUCTION, (
         f"seq-2 reduction {reduction:.2f}x fell below {MIN_SEQ2_REDUCTION}x "
+        f"({exhaustive} exhaustive vs {pruned} pruned scenarios)"
+    )
+
+
+def test_logfs_seq2_slice_identity_and_reduction():
+    """Log-structured pruning pays: on a logfs whose LSW contract holds
+    (the reference bug patched out, every other logfs bug kept), segment
+    windows reduce to their baseline and the slice prunes >= 2x."""
+    bugs = BugConfig.all_for("logfs").without("lsw_unfenced_append")
+    mechanism, torn = _harnesses("logfs", bugs=bugs)
+    adapter = CrashMonkeyAdapter(mechanism.fs_name)
+    workloads = list(adapter.adapt_stream(
+        AceSynthesizer(seq2_bounds()).stream(limit=LOGFS_SEQ2_SLICE)
+    ))
+    assert len(workloads) > 0
+    pruned = exhaustive = demotions = 0
+    for workload in workloads:
+        exhaustive_result = torn.test_workload(workload)
+        pruned_result = mechanism.test_workload(workload)
+        assert _bug_set(pruned_result) == _bug_set(exhaustive_result), (
+            f"{workload.display_name()}: pruned bug set diverged"
+        )
+        demotions += pruned_result.audit_demotions
+        exhaustive += _scenario_count(exhaustive_result)
+        pruned += _scenario_count(pruned_result)
+    assert demotions == 0
+    reduction = exhaustive / pruned
+    assert reduction >= MIN_LOGFS_SEQ2_REDUCTION, (
+        f"logfs seq-2 reduction {reduction:.2f}x fell below "
+        f"{MIN_LOGFS_SEQ2_REDUCTION}x "
         f"({exhaustive} exhaustive vs {pruned} pruned scenarios)"
     )
 

@@ -74,6 +74,50 @@ def test_unaccounted_result_field_is_caught():
     assert any("sneaky_counter" in f[2] for f in findings)
 
 
+def test_unreferenced_planner_is_caught(tmp_path):
+    trees = _trees(**{"crashmonkey/crashplan.py":
+                      "PLAN_NAMES = ('torn', 'quantum')\n"})
+    soundness = tmp_path / "test_mechanism_soundness.py"
+    soundness.write_text("PLANS = ['torn']\n")
+    findings = repro_lint.check_planners_have_soundness_coverage(
+        trees, soundness_path=soundness)
+    assert len(findings) == 1
+    assert "`quantum`" in findings[0][2]
+
+
+def test_missing_soundness_module_is_caught(tmp_path):
+    trees = _trees(**{"crashmonkey/crashplan.py": "PLAN_NAMES = ('torn',)\n"})
+    findings = repro_lint.check_planners_have_soundness_coverage(
+        trees, soundness_path=tmp_path / "gone.py")
+    assert len(findings) == 1
+    assert "missing" in findings[0][2]
+
+
+def test_every_registered_planner_is_soundness_covered():
+    trees = repro_lint.parse_tree()
+    assert repro_lint.check_planners_have_soundness_coverage(trees) == []
+
+
+def test_analysis_importing_the_harness_is_caught():
+    for source in (
+        "from ..crashmonkey.harness import CrashMonkey\n",
+        "from ..crashmonkey import harness\n",
+        "import repro.crashmonkey.harness\n",
+    ):
+        findings = repro_lint.check_analysis_does_not_import_harness(
+            _trees(**{"analysis/mechanisms.py": source}))
+        assert len(findings) == 1, source
+        assert "crashmonkey.harness" in findings[0][2]
+
+
+def test_analysis_importing_elsewhere_is_fine():
+    trees = _trees(**{"analysis/mechanisms.py": (
+        "from ..fs import layout\n"
+        "from ..crashmonkey.crashplan import PLAN_NAMES\n"
+    )})
+    assert repro_lint.check_analysis_does_not_import_harness(trees) == []
+
+
 def test_session_field_outside_scalar_fields_is_caught():
     trees = _trees(**{"crashmonkey/report.py": (
         "class CrashTestResult:\n"

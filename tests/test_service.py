@@ -1,5 +1,7 @@
 """CampaignService: tenant-fair scheduling over one shared worker fleet."""
 
+from pathlib import Path
+
 import pytest
 
 from repro.ace.bounds import Bounds
@@ -145,3 +147,83 @@ def test_service_shares_an_open_db(db_path):
         service.serve()
         service.close()  # must not close the borrowed handle
         assert db.status(campaign).complete
+
+
+# ------------------------------------------------------------- watch mode
+
+def test_serve_watch_picks_up_work_submitted_while_polling(db_path):
+    """``serve(watch=...)`` must not exit on an empty queue: a campaign
+    submitted *after* the drain still gets served on a later poll."""
+    import threading
+    import time
+
+    started = threading.Event()
+    outcome = {}
+
+    def run_server():
+        # The server owns its connection: sqlite handles are per-thread.
+        with CampaignService(db_path, slice_chunks=2) as service:
+            outcome["service"] = service
+            started.set()
+            outcome["served"] = service.serve(watch=0.02)
+
+    server = threading.Thread(target=run_server)
+    server.start()
+    assert started.wait(timeout=10)
+    try:
+        with CampaignService(db_path) as client:
+            campaign = client.submit(
+                CampaignRequest(config=_config(8), tenant="alice")
+            )
+            deadline = time.monotonic() + 60
+            while time.monotonic() < deadline:
+                if client.status(campaign).complete:
+                    break
+                time.sleep(0.02)
+            assert client.status(campaign).complete
+    finally:
+        # request_stop is the supervisor's SIGTERM path; safe cross-thread.
+        outcome["service"].request_stop()
+        server.join(timeout=30)
+    assert not server.is_alive()
+    assert outcome["served"] >= 1
+
+
+def test_serve_watch_sigterm_stops_cleanly(db_path, tmp_path):
+    """SIGTERM to ``repro-b3 serve --watch`` finishes the slice in flight,
+    prints the usual summary and exits 0 — a stop is never a crash."""
+    import os
+    import signal
+    import subprocess
+    import sys
+    import time
+
+    import repro
+
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(Path(repro.__file__).resolve().parents[1])
+    with CampaignService(db_path) as client:
+        campaign = client.submit(CampaignRequest(config=_config(8), tenant="alice"))
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro.cli.main", "serve",
+         "--state-db", db_path, "--watch", "0.05"],
+        stdout=subprocess.PIPE, stderr=subprocess.PIPE, env=env, text=True,
+    )
+    try:
+        with CampaignService(db_path) as client:
+            deadline = time.monotonic() + 60
+            while time.monotonic() < deadline:
+                if client.status(campaign).complete:
+                    break
+                time.sleep(0.05)
+            assert client.status(campaign).complete
+        # The queue is drained; the server is in its watch sleep now.
+        process.send_signal(signal.SIGTERM)
+        stdout, stderr = process.communicate(timeout=60)
+    finally:
+        if process.poll() is None:
+            process.kill()
+            process.communicate()
+    assert process.returncode == 0, stderr
+    assert "served" in stdout
+    assert "stop requested" in stderr

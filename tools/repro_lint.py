@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Repo invariant linter: AST checks for rules ruff cannot express.
 
-Three invariants, each protecting a guarantee a past change was built on:
+Five invariants, each protecting a guarantee a past change was built on:
 
 1. **No wall-clock reads reachable from ``canonical_dict()``.**  Canonical
    payloads must be schedule-invariant — two runs of the same campaign
@@ -25,6 +25,18 @@ Three invariants, each protecting a guarantee a past change was built on:
    subset of ``SCALAR_FIELDS``.  Adding a counter without classifying it as
    canonical-vs-session telemetry fails here instead of silently dropping
    it from the store.
+
+4. **Every planner in the registry has soundness coverage.**  Each name in
+   ``PLAN_NAMES`` (crashplan.py's registry) must be referenced by the
+   soundness test module (``tests/test_mechanism_soundness.py``).  The
+   soundness harness is the repo's proof that pruning plans find the same
+   bugs as exhaustive ones — a planner registered without a reference
+   there ships unproven.
+
+5. **``analysis/`` never imports ``crashmonkey.harness``.**  The static
+   pass must stay runnable without the dynamic harness (no device, no
+   mounts): the harness imports analysis, never the reverse.  An import in
+   that direction is a layering cycle waiting to happen.
 
 Run from the repo root (CI runs it next to ruff):
 
@@ -228,6 +240,96 @@ def check_result_fields_are_accounted(trees: Dict[Path, ast.Module]) -> List[Fin
     return findings
 
 
+# ------------------------------------------------ rule 4: planner soundness
+
+
+def _plan_names(trees: Dict[Path, ast.Module]) -> Tuple[Path, Set[str], int]:
+    """The PLAN_NAMES registry literal: (defining path, names, line)."""
+    for path, tree in trees.items():
+        if path.name != "crashplan.py":
+            continue
+        for node in ast.walk(tree):
+            targets = []
+            if isinstance(node, ast.AnnAssign) and isinstance(node.target, ast.Name):
+                targets, value = [node.target.id], node.value
+            elif isinstance(node, ast.Assign):
+                targets = [t.id for t in node.targets if isinstance(t, ast.Name)]
+                value = node.value
+            if "PLAN_NAMES" in targets and isinstance(value, ast.Tuple):
+                names = {el.value for el in value.elts
+                         if isinstance(el, ast.Constant) and isinstance(el.value, str)}
+                return path, names, node.lineno
+    raise LookupError("PLAN_NAMES")
+
+
+def check_planners_have_soundness_coverage(
+    trees: Dict[Path, ast.Module],
+    soundness_path: Path = REPO_ROOT / "tests" / "test_mechanism_soundness.py",
+) -> List[Finding]:
+    """Every registered planner name is referenced by the soundness module.
+
+    A reference is any string constant in the module equal to the planner
+    name (``CrashMonkey(..., planner="torn")``, ``make_planner("reorder")``,
+    a parametrize id...).  Coarse on purpose: the rule guards against a
+    planner added to the registry with *no* soundness story at all, not
+    against weak assertions.
+    """
+    path, names, line = _plan_names(trees)
+    relative = str(path.relative_to(REPO_ROOT)) if path.is_absolute() else str(path)
+    if not soundness_path.exists():
+        return [Finding(
+            relative, line,
+            f"soundness test module {soundness_path.name} is missing — every "
+            "PLAN_NAMES planner must be proven against the exhaustive plan",
+        )]
+    referenced = {
+        node.value
+        for node in ast.walk(ast.parse(soundness_path.read_text(encoding="utf-8")))
+        if isinstance(node, ast.Constant) and isinstance(node.value, str)
+    }
+    findings: List[Finding] = []
+    for name in sorted(names - referenced):
+        findings.append(Finding(
+            relative, line,
+            f"planner `{name}` is registered in PLAN_NAMES but never "
+            f"referenced by {soundness_path.name} — a pruning plan without "
+            "soundness coverage ships unproven",
+        ))
+    return findings
+
+
+# ------------------------------------------------- rule 5: analysis layering
+
+
+def check_analysis_does_not_import_harness(trees: Dict[Path, ast.Module]) -> List[Finding]:
+    """The static pass must not depend on the dynamic harness."""
+    findings: List[Finding] = []
+    for path, tree in trees.items():
+        if path.parent != SRC_ROOT / "analysis":
+            continue
+        relative = str(path.relative_to(REPO_ROOT)) if path.is_absolute() else str(path)
+        for node in ast.walk(tree):
+            offending = False
+            if isinstance(node, ast.Import):
+                offending = any(
+                    "crashmonkey.harness" in alias.name for alias in node.names
+                )
+            elif isinstance(node, ast.ImportFrom):
+                module = node.module or ""
+                offending = "crashmonkey.harness" in module or (
+                    module.endswith("crashmonkey")
+                    and any(alias.name == "harness" for alias in node.names)
+                )
+            if offending:
+                findings.append(Finding(
+                    relative, node.lineno,
+                    "analysis/ imports crashmonkey.harness — the static pass "
+                    "must stay runnable without the dynamic harness (the "
+                    "harness imports analysis, never the reverse)",
+                ))
+    return findings
+
+
 # ------------------------------------------------------------------------ driver
 
 
@@ -244,6 +346,8 @@ def run_lint(root: Path = SRC_ROOT) -> List[Finding]:
     findings.extend(check_canonical_paths_are_clock_free(trees))
     findings.extend(check_storage_stays_zero_copy(trees))
     findings.extend(check_result_fields_are_accounted(trees))
+    findings.extend(check_planners_have_soundness_coverage(trees))
+    findings.extend(check_analysis_does_not_import_harness(trees))
     return findings
 
 
