@@ -68,6 +68,13 @@ def _positive_int(value: str) -> int:
     return number
 
 
+def _nonnegative_int(value: str) -> int:
+    number = int(value)
+    if number < 0:
+        raise argparse.ArgumentTypeError("must be a non-negative integer")
+    return number
+
+
 def _positive_float(value: str) -> float:
     number = float(value)
     if number <= 0:
@@ -138,6 +145,17 @@ def _add_recording_args(parser: argparse.ArgumentParser) -> None:
                              "promoting --cross-workload-dedup to campaign-global under "
                              "a process pool (pool campaigns auto-provision a temporary "
                              "one when unset)")
+    parser.add_argument("--spine-memory-budget", type=_nonnegative_int, default=None,
+                        metavar="BYTES",
+                        help="resident-byte budget for the cached trie spines (prefix "
+                             "recording + replay trail); frozen nodes beyond it spill "
+                             "to disk and rehydrate transparently with byte-identical "
+                             "results (0 spills everything; default: generous, or the "
+                             "REPRO_SPINE_BUDGET environment variable)")
+    parser.add_argument("--spine-spill-dir", metavar="PATH", default=None,
+                        help="directory for spilled spine nodes (default: a private "
+                             "temporary directory; durable campaigns keep one beside "
+                             "the state database)")
 
 
 def _add_crash_plan_args(parser: argparse.ArgumentParser) -> None:
@@ -233,7 +251,9 @@ def cmd_test(args) -> int:
                           share_prefixes=args.share_prefixes,
                           share_replay=args.share_replay,
                           cross_workload_dedup=args.cross_workload_dedup,
-                          global_dedup_cache=args.global_dedup_cache)
+                          global_dedup_cache=args.global_dedup_cache,
+                          spine_memory_budget=args.spine_memory_budget,
+                          spine_spill_dir=args.spine_spill_dir)
     result = harness.test_workload(workload)
     print(result.summary())
     for report in result.bug_reports:
@@ -258,6 +278,8 @@ def _campaign_config(args) -> CampaignConfig:
         share_replay=args.share_replay,
         cross_workload_dedup=args.cross_workload_dedup,
         global_dedup_cache=args.global_dedup_cache,
+        spine_memory_budget=args.spine_memory_budget,
+        spine_spill_dir=args.spine_spill_dir,
         processes=args.processes,
         chunk_size=args.chunk_size,
     )

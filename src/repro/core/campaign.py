@@ -80,6 +80,15 @@ class CampaignConfig:
     #: enables it exactly when ``crash_plan == "mechanism"``, True forces it
     #: alongside an exhaustive plan (overhead measurement without pruning)
     analyze_mechanisms: Optional[bool] = None
+    #: resident-byte budget for each worker harness's trie spines; frozen
+    #: nodes beyond it spill to disk and rehydrate transparently (results
+    #: are byte-for-byte identical either way); None follows the spill
+    #: store's default (generous, REPRO_SPINE_BUDGET can lower it)
+    spine_memory_budget: Optional[int] = None
+    #: directory spilled spine nodes are written to, shared by every worker
+    #: (None = a private temporary directory per worker; the durable runner
+    #: provisions one beside the campaign state database)
+    spine_spill_dir: Optional[str] = None
     #: worker processes; 1 = serial in-process, >1 = process-pool backend
     processes: int = 1
     #: workloads per dispatched chunk (None = engine default)
@@ -110,6 +119,8 @@ class B3Campaign:
             cross_workload_dedup=config.cross_workload_dedup,
             global_dedup_cache=config.global_dedup_cache,
             analyze_mechanisms=config.analyze_mechanisms,
+            spine_memory_budget=config.spine_memory_budget,
+            spine_spill_dir=config.spine_spill_dir,
         )
         self._harness: Optional[CrashMonkey] = None
         #: engine bookkeeping of the most recent :meth:`run` (chunk stats, wall clock)

@@ -159,6 +159,33 @@ class CampaignResult:
         return sum(result.replay_writes_reused for result in self.results)
 
     @property
+    def spine_spills(self) -> int:
+        """Spine nodes spilled to disk across every worker harness."""
+        return sum(result.spine_spills for result in self.results)
+
+    @property
+    def spine_spilled_bytes(self) -> int:
+        """Bytes of spine nodes written to spill directories campaign-wide."""
+        return sum(result.spine_spilled_bytes for result in self.results)
+
+    @property
+    def spine_rehydrations(self) -> int:
+        """Spilled spine nodes read back from disk campaign-wide."""
+        return sum(result.spine_rehydrations for result in self.results)
+
+    @property
+    def spine_peak_resident_bytes(self) -> int:
+        """Highest resident spine byte count any worker harness reached.
+
+        Bounded by the configured ``spine_memory_budget`` (per harness, so
+        per worker under a pool backend).
+        """
+        return max(
+            (result.spine_peak_resident_bytes for result in self.results),
+            default=0,
+        )
+
+    @property
     def deduped_scenarios(self) -> int:
         """Scenarios skipped by within-workload cross-checkpoint dedup."""
         return sum(result.deduped_scenarios for result in self.results)
@@ -267,12 +294,23 @@ class CampaignResult:
             f"{self.replay_seconds_saved():.2f}s saved"
         )
 
+    def spine_summary(self) -> str:
+        """One line of spine-spill accounting for this campaign."""
+        return (
+            f"spine spill: {self.spine_spills} nodes "
+            f"({self.spine_spilled_bytes} bytes) spilled, "
+            f"{self.spine_rehydrations} rehydrated, "
+            f"peak resident {self.spine_peak_resident_bytes} bytes per worker"
+        )
+
     def describe(self) -> str:
         lines = [self.summary()]
         if self.prefix_hits or self.cross_deduped_scenarios:
             lines.append(self.recording_summary())
         if self.replay_hits:
             lines.append(self.replay_summary())
+        if self.spine_spills or self.spine_rehydrations:
+            lines.append(self.spine_summary())
         lines.append("report groups:")
         for group in self.grouped_reports():
             lines.append("  " + group.describe())

@@ -24,6 +24,7 @@ from ..errors import HarnessError
 from ..fs.bugs import BugConfig
 from ..fs.registry import models, resolve_fs_name
 from ..storage.block import DEFAULT_DEVICE_BLOCKS
+from ..storage.spill import SpineStore
 from ..workload.workload import Workload
 from .checker import CheckPipeline
 from .crashplan import (
@@ -56,6 +57,8 @@ class CrashMonkey:
                  global_dedup_cache: Optional[str] = None,
                  dedup_scope: Optional[str] = None,
                  analyze_mechanisms: Optional[bool] = None,
+                 spine_memory_budget: Optional[int] = None,
+                 spine_spill_dir: Optional[str] = None,
                  kernel_version: str = "4.16"):
         """
         Args:
@@ -124,6 +127,18 @@ class CrashMonkey:
                 exactly when the crash planner consumes the report (the
                 ``mechanism`` plan); forcing ``True`` on an exhaustive plan
                 measures analysis overhead without changing the plan.
+            spine_memory_budget: resident-byte budget shared by both trie
+                spines (the recorder's prefix cache and the replay trail).
+                Frozen nodes beyond the budget spill to disk and rehydrate
+                transparently; results are byte-for-byte identical either
+                way.  ``None`` follows
+                :func:`~repro.storage.spill.default_spine_memory_budget`
+                (generous — seq-1/seq-2 campaigns never spill unless the
+                ``REPRO_SPINE_BUDGET`` environment variable lowers it).
+            spine_spill_dir: directory for spilled spine nodes.  ``None``
+                uses a private temporary directory; campaigns pass a
+                per-campaign directory (the durable runner keeps it beside
+                the state database) so every worker spills to one place.
             kernel_version: label attached to bug reports.
         """
         self.fs_name = resolve_fs_name(fs_name)
@@ -146,15 +161,22 @@ class CrashMonkey:
         # plan name or bound.
         self.planner = make_planner(crash_plan, reorder_bound, torn_bound)
         self.kernel_version = kernel_version
+        #: one budgeted spill store serves both trie spines, so "resident
+        #: spine bytes" is a single number the budget actually bounds
+        self.spine_store = SpineStore(memory_budget=spine_memory_budget,
+                                      spill_dir=spine_spill_dir,
+                                      name=self.fs_name)
         self.recorder = WorkloadRecorder(self.fs_name, self.bugs, device_blocks=device_blocks,
-                                         share_prefixes=share_prefixes)
+                                         share_prefixes=share_prefixes,
+                                         spine_store=self.spine_store)
         #: resolved value (the recorder applies the None -> default rule)
         self.share_prefixes = self.recorder.share_prefixes
         #: resolved value for shared crash-state replay
         self.share_replay = (default_share_replay() if share_replay is None
                              else share_replay)
         #: replay-trie spine shared by every workload this harness tests
-        self.replay_cache = SharedReplayCache() if self.share_replay else None
+        self.replay_cache = (SharedReplayCache(spine_store=self.spine_store)
+                             if self.share_replay else None)
         #: cache of (crash states, expectations) keys; harness-lifetime and
         #: in-memory by default, campaign-global and disk-backed when a
         #: ``global_dedup_cache`` path is given.  One fixed fs/bugs/planner
@@ -215,6 +237,10 @@ class CrashMonkey:
         result = CrashTestResult(
             workload=workload, fs_type=self.fs_name, fs_model=self.fs_model
         )
+        store = self.spine_store
+        spills_before = store.spills
+        spilled_bytes_before = store.spilled_bytes
+        rehydrations_before = store.rehydrations
 
         profile = self.recorder.profile(workload)
         result.profile_seconds = profile.profile_seconds
@@ -289,6 +315,13 @@ class CrashMonkey:
         result.mechanism_fallback_checkpoints = generator.mechanism_fallback_checkpoints
         result.mechanism_demoted_checkpoints = generator.mechanism_demoted_checkpoints
         result.audit_demotions = generator.audit_demotions
+        # Spine-spill telemetry: gauges read the store's current/high-water
+        # state, the counters are this workload's deltas.
+        result.spine_resident_bytes = store.resident_bytes
+        result.spine_peak_resident_bytes = store.peak_resident_bytes
+        result.spine_spilled_bytes = store.spilled_bytes - spilled_bytes_before
+        result.spine_spills = store.spills - spills_before
+        result.spine_rehydrations = store.rehydrations - rehydrations_before
         if generator.mechanism_report is not None:
             self.last_mechanism_report = generator.mechanism_report
         return result

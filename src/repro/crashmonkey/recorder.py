@@ -51,6 +51,7 @@ from ..storage.block_device import BlockDevice
 from ..storage.cow_device import CowDevice
 from ..storage.io_request import IORequest
 from ..storage.record_device import RecordingDevice
+from ..storage.spill import SpineStore, flatten_requests, freeze_overlay
 from ..workload.executor import WorkloadExecutor
 from ..workload.operations import Operation
 from ..workload.workload import Workload
@@ -179,6 +180,23 @@ class _PrefixNode:
     elapsed: float
 
 
+@dataclass
+class _SpineSlot:
+    """The always-resident stub of one spine node.
+
+    Holds exactly the fields the recorder reads without rehydrating the
+    node — prefix matching (:meth:`WorkloadRecorder._longest_cached_prefix`)
+    and reuse accounting never touch the heavyweight state, so a fully
+    spilled spine still matches prefixes at dict-probe cost.
+    """
+
+    prefix_key: str
+    write_requests: int
+    elapsed: float
+    #: retrieval key of the full :class:`_PrefixNode` in the spine store
+    key: int
+
+
 class _LiveRun:
     """The mutable state of one in-progress recording run."""
 
@@ -196,7 +214,8 @@ class WorkloadRecorder:
 
     def __init__(self, fs_name: str, bugs: Optional[BugConfig] = None,
                  device_blocks: int = DEFAULT_DEVICE_BLOCKS, strict: bool = False,
-                 share_prefixes: Optional[bool] = None):
+                 share_prefixes: Optional[bool] = None,
+                 spine_store: Optional[SpineStore] = None):
         """
         Args:
             share_prefixes: resume each workload from the deepest cached
@@ -206,6 +225,11 @@ class WorkloadRecorder:
                 either way; disabling trades recording speed for a recorder
                 with no state between ``profile`` calls.  ``None`` follows
                 :func:`default_share_prefixes`.
+            spine_store: budgeted spill store for the frozen trie spine.
+                Pass the harness-wide store so recorder and replay spines
+                share one resident budget; ``None`` builds a private store
+                with the default budget.  Profiles are byte-for-byte
+                identical whether nodes spill or stay resident.
         """
         self.fs_name = resolve_fs_name(fs_name)
         self.fs_class = get_fs_class(self.fs_name)
@@ -222,8 +246,17 @@ class WorkloadRecorder:
         #: shared base of every prefix-shared profile; CowDevice never writes
         #: through to its base, so one copy serves the whole campaign
         self._shared_base: Optional[BlockDevice] = None
-        #: the trie spine: frozen nodes along the previous workload's op path
-        self._spine: List[_PrefixNode] = []
+        #: budgeted node store; frozen spine nodes live here and spill to
+        #: disk when the resident budget is exceeded
+        self.spine_store = spine_store if spine_store is not None else SpineStore(
+            name=f"{self.fs_name}-prefix"
+        )
+        self.spine_store.register_codec(
+            "prefix", self._freeze_prefix_payload, self._thaw_prefix_payload
+        )
+        #: the trie spine: always-resident stubs along the previous
+        #: workload's op path; the full nodes live in :attr:`spine_store`
+        self._spine: List[_SpineSlot] = []
         # -- prefix-sharing accounting (campaign-lifetime totals) ------------
         #: profiles that resumed from the cache instead of re-running mkfs
         self.prefix_hits = 0
@@ -249,7 +282,7 @@ class WorkloadRecorder:
 
     def clear_prefix_cache(self) -> None:
         """Drop the cached trie spine (frees the snapshots it holds)."""
-        self._spine = []
+        self._truncate_spine(0)
 
     # ------------------------------------------------------------------ from scratch
 
@@ -283,7 +316,8 @@ class WorkloadRecorder:
         reused = self._longest_cached_prefix(prefix_keys)
         if reused < 0:
             # Cold cache: build the root (mkfs base + mount) and freeze it.
-            self._spine = [self._make_root_node(prefix_keys[0], start)]
+            self._truncate_spine(0)
+            self._spine = [self._remember(self._make_root_node(prefix_keys[0], start))]
             reused = 0
             shared = False
             seconds_saved = 0.0
@@ -295,13 +329,14 @@ class WorkloadRecorder:
             self.prefix_seconds_saved += seconds_saved
         # Nodes past the divergence point belong to the previous workload's
         # suffix; the spine is a single path, so they are dropped.
-        del self._spine[reused + 1:]
-        node = self._spine[reused]
-        reused_writes = node.write_requests if shared else 0
+        self._truncate_spine(reused + 1)
+        slot = self._spine[reused]
+        base_elapsed = slot.elapsed
+        reused_writes = slot.write_requests if shared else 0
         if shared:
             self.prefix_writes_reused += reused_writes
 
-        run = self._resume_from(node)
+        run = self._resume_from(self._fetch(slot))
 
         def on_persistence(op, index):
             checkpoint_id = run.recording_device.mark_checkpoint()
@@ -322,11 +357,11 @@ class WorkloadRecorder:
         def after_operation(op, index):
             nonlocal exec_seconds
             exec_seconds += time.perf_counter() - op_start
-            self._spine.append(
+            self._spine.append(self._remember(
                 self._freeze(run, depth=index + 1, op=op,
                              prefix_key=prefix_keys[index + 1],
-                             elapsed=node.elapsed + exec_seconds)
-            )
+                             elapsed=base_elapsed + exec_seconds)
+            ))
 
         run.executor.run(workload, on_persistence=on_persistence,
                          before_operation=before_operation,
@@ -349,6 +384,80 @@ class WorkloadRecorder:
         while depth < limit and self._spine[depth + 1].prefix_key == prefix_keys[depth + 1]:
             depth += 1
         return depth
+
+    # ------------------------------------------------------------------ spine spill
+
+    def _remember(self, node: _PrefixNode) -> _SpineSlot:
+        """Hand a frozen node to the spine store, keeping a resident stub."""
+        nbytes = (
+            len(node.fs_state)
+            + node.device.overlay_bytes()
+            + sum(request.size_bytes() for request in node.log)
+        )
+        key = self.spine_store.put("prefix", node, nbytes)
+        return _SpineSlot(prefix_key=node.prefix_key,
+                          write_requests=node.write_requests,
+                          elapsed=node.elapsed, key=key)
+
+    def _fetch(self, slot: _SpineSlot) -> _PrefixNode:
+        """Rehydrate a slot's full node (a disk read only if it spilled)."""
+        return self.spine_store.get(slot.key)
+
+    def _truncate_spine(self, length: int) -> None:
+        """Drop spine nodes past ``length``, releasing their stored state."""
+        for slot in self._spine[length:]:
+            self.spine_store.drop(slot.key)
+        del self._spine[length:]
+
+    def _freeze_prefix_payload(self, node: _PrefixNode) -> dict:
+        """Flatten a trie node to a picklable dict (slab views → bytes)."""
+        return {
+            "depth": node.depth,
+            "op": node.op,
+            "prefix_key": node.prefix_key,
+            "overlay": freeze_overlay(node.device),
+            "log": tuple(flatten_requests(node.log)),
+            "checkpoints": node.checkpoints,
+            "fs_state": node.fs_state,
+            "tracker_state": node.tracker_state,
+            "oracles": node.oracles,
+            "executed": node.executed,
+            "skipped": node.skipped,
+            "persistence_count": node.persistence_count,
+            "write_requests": node.write_requests,
+            "elapsed": node.elapsed,
+        }
+
+    def _thaw_prefix_payload(self, payload: dict) -> _PrefixNode:
+        """Rebuild a trie node from its spilled payload.
+
+        The device is reconstructed over the campaign's shared base image;
+        :meth:`CowDevice.from_overlay` is the exact inverse of the frozen
+        overlay delta, so the rehydrated node is content-identical to the
+        one that spilled (the tier-1 parity tests replay the full seq-1
+        space with a zero budget to prove it).
+        """
+        if self._shared_base is None:
+            self._shared_base = self._pristine_image.copy(name=f"{self.fs_name}-base")
+        depth = payload["depth"]
+        device = CowDevice.from_overlay(self._shared_base, payload["overlay"],
+                                        name=f"prefix-{depth}")
+        return _PrefixNode(
+            depth=depth,
+            op=payload["op"],
+            prefix_key=payload["prefix_key"],
+            device=device,
+            log=payload["log"],
+            checkpoints=payload["checkpoints"],
+            fs_state=payload["fs_state"],
+            tracker_state=payload["tracker_state"],
+            oracles=payload["oracles"],
+            executed=payload["executed"],
+            skipped=payload["skipped"],
+            persistence_count=payload["persistence_count"],
+            write_requests=payload["write_requests"],
+            elapsed=payload["elapsed"],
+        )
 
     def _make_root_node(self, prefix_key: str, start: float) -> _PrefixNode:
         """Format-and-mount once: the trie root every workload shares."""

@@ -35,6 +35,7 @@ from ..fs import fsck
 from ..fs.registry import get_fs_class
 from ..storage.cow_device import CowDevice
 from ..storage.io_request import IORequest
+from ..storage.spill import SpineStore, flatten_requests, freeze_overlay
 from .crashplan import CrashPlanner, CrashScenario, CrossWorkloadCache, PrefixPlanner
 from .oracle import Oracle
 from .recorder import WorkloadProfile
@@ -173,6 +174,27 @@ class _ReplayNode:
     analysis: Optional[AnalysisCursor] = None
 
 
+@dataclass
+class _TrailSlot:
+    """The always-resident stub of one trail node.
+
+    Holds the fields :meth:`SharedReplayCache.begin` reads without
+    rehydrating (prefix matching and reuse accounting) plus the two pieces
+    of state that cannot round-trip through pickle: the running sha1 digest
+    and the analysis cursor.  Both stay resident in the slot — they are tiny
+    compared to the device forks — and are reattached to the node after a
+    rehydration.
+    """
+
+    index: int
+    replayed_writes: int
+    elapsed: float
+    #: retrieval key of the full :class:`_ReplayNode` in the spine store
+    key: int
+    hasher: Optional[object]
+    analysis: Optional[AnalysisCursor]
+
+
 class SharedReplayCache:
     """Replay-trie spine shared by sibling workloads' crash-state builds.
 
@@ -194,8 +216,26 @@ class SharedReplayCache:
     requirement).
     """
 
-    def __init__(self):
-        self._trail: List[_ReplayNode] = []
+    def __init__(self, spine_store: Optional[SpineStore] = None):
+        """
+        Args:
+            spine_store: budgeted spill store for the frozen trail.  Pass the
+                harness-wide store so recorder and replay spines share one
+                resident budget; ``None`` builds a private store with the
+                default budget.  Crash states are byte-for-byte identical
+                whether nodes spill or stay resident.
+        """
+        #: budgeted node store; frozen trail nodes live here and spill to
+        #: disk when the resident budget is exceeded
+        self.spine_store = spine_store if spine_store is not None else SpineStore(
+            name="replay"
+        )
+        self.spine_store.register_codec(
+            "replay", self._freeze_replay_payload, self._thaw_replay_payload
+        )
+        #: always-resident stubs of the cached trail; the full nodes live in
+        #: :attr:`spine_store`
+        self._trail: List[_TrailSlot] = []
         self._log: Tuple[IORequest, ...] = ()
         self._base = None
         self._hashed = False
@@ -209,10 +249,20 @@ class SharedReplayCache:
         self.replay_seconds_saved = 0.0
 
     def clear(self) -> None:
-        """Drop the cached trail (frees the snapshots it holds)."""
+        """Drop the cached trail, restoring the full freshly-constructed state.
+
+        Every piece of matching state is reset — not just the trail list:
+        a cleared cache must behave exactly like a new one, so ``begin`` can
+        never seed a resume from a stale digest/analysis mode or a stale
+        base-image reference after a spill-triggered (or any other) clear.
+        """
+        for slot in self._trail:
+            self.spine_store.drop(slot.key)
         self._trail = []
         self._log = ()
         self._base = None
+        self._hashed = False
+        self._analyzed = False
 
     # ------------------------------------------------------------------ matching
 
@@ -252,10 +302,12 @@ class SharedReplayCache:
                 and self._base_matches(profile.base_image)):
             shared = self._shared_prefix_len(log)
             while self._trail and self._trail[-1].index > shared:
-                self._trail.pop()
+                self.spine_store.drop(self._trail.pop().key)
             if self._trail:
-                node = self._trail[-1]
+                node = self._fetch(self._trail[-1])
         if node is None:
+            for slot in self._trail:
+                self.spine_store.drop(slot.key)
             self._trail = []
             self._base = profile.base_image
         else:
@@ -278,18 +330,129 @@ class SharedReplayCache:
         walk keeps mutating its own copies); ``cursor``/``stable`` are
         already frozen forks, shared as-is.
         """
-        self._trail.append(
-            _ReplayNode(
-                index=index,
-                cursor=cursor,
-                stable=stable,
+        node = _ReplayNode(
+            index=index,
+            cursor=cursor,
+            stable=stable,
+            window=window,
+            records=dict(records),
+            hasher=hasher.copy() if hasher is not None else None,
+            replayed_writes=replayed_writes,
+            elapsed=elapsed,
+            analysis=analysis.copy() if analysis is not None else None,
+        )
+        self._trail.append(self._remember(node))
+
+    # ------------------------------------------------------------------ trail spill
+
+    def _remember(self, node: _ReplayNode) -> _TrailSlot:
+        """Hand a frozen node to the spine store, keeping a resident stub."""
+        seen = set()
+        nbytes = 0
+        for device in self._node_devices(node):
+            if id(device) not in seen:
+                seen.add(id(device))
+                nbytes += device.overlay_bytes()
+        nbytes += sum(request.size_bytes() for request in node.window)
+        for record in node.records.values():
+            nbytes += sum(request.size_bytes() for request in record.window)
+        key = self.spine_store.put("replay", node, nbytes)
+        return _TrailSlot(index=node.index, replayed_writes=node.replayed_writes,
+                          elapsed=node.elapsed, key=key,
+                          hasher=node.hasher, analysis=node.analysis)
+
+    def _fetch(self, slot: _TrailSlot) -> _ReplayNode:
+        """Rehydrate a slot's full node, reattaching the resident cursors.
+
+        The sha1 digest object and the analysis cursor cannot round-trip
+        through pickle, so they live in the slot; a node that never spilled
+        already holds the same objects and the reattachment is a no-op.
+        """
+        node = self.spine_store.get(slot.key)
+        node.hasher = slot.hasher
+        node.analysis = slot.analysis
+        return node
+
+    @staticmethod
+    def _node_devices(node: _ReplayNode):
+        """The node's device forks, in a stable order (with duplicates)."""
+        yield node.cursor
+        yield node.stable
+        for record in node.records.values():
+            yield record.baseline
+            yield record.stable
+
+    def _freeze_replay_payload(self, node: _ReplayNode) -> dict:
+        """Flatten a trail node to a picklable dict.
+
+        Devices are serialized through an identity table: each distinct
+        ``CowDevice`` fork becomes one overlay delta, and every reference to
+        it (cursor, stable, record baselines/stables) becomes an index into
+        that table.  Rehydration therefore preserves the node's *identity
+        topology* — records that shared a stable fork still share one — which
+        the scenario dedup key (``id(record.stable)``) relies on.  The
+        digest/analysis cursors are deliberately excluded; they stay resident
+        in the trail slot.
+        """
+        devices: List[CowDevice] = []
+        index_of: Dict[int, int] = {}
+
+        def ref(device: CowDevice) -> int:
+            token = id(device)
+            if token not in index_of:
+                index_of[token] = len(devices)
+                devices.append(device)
+            return index_of[token]
+
+        records = {
+            cid: (record.checkpoint_id, ref(record.baseline), ref(record.stable),
+                  tuple(flatten_requests(record.window)), record.state_digest)
+            for cid, record in node.records.items()
+        }
+        return {
+            "index": node.index,
+            "cursor": ref(node.cursor),
+            "stable": ref(node.stable),
+            "window": tuple(flatten_requests(node.window)),
+            "records": records,
+            "replayed_writes": node.replayed_writes,
+            "elapsed": node.elapsed,
+            "overlays": [freeze_overlay(device) for device in devices],
+            "names": [device.name for device in devices],
+        }
+
+    def _thaw_replay_payload(self, payload: dict) -> _ReplayNode:
+        """Rebuild a trail node from its spilled payload.
+
+        Rebuilt over ``self._base``: thawing only happens through ``begin``,
+        whose guard has already established that the current build's base is
+        content-identical to the one the node was frozen against.
+        """
+        devices = [
+            CowDevice.from_overlay(self._base, overlay, name=name)
+            for overlay, name in zip(payload["overlays"], payload["names"])
+        ]
+        records = {
+            cid: _CheckpointRecord(
+                checkpoint_id=checkpoint_id,
+                baseline=devices[baseline_ref],
+                stable=devices[stable_ref],
                 window=window,
-                records=dict(records),
-                hasher=hasher.copy() if hasher is not None else None,
-                replayed_writes=replayed_writes,
-                elapsed=elapsed,
-                analysis=analysis.copy() if analysis is not None else None,
+                state_digest=state_digest,
             )
+            for cid, (checkpoint_id, baseline_ref, stable_ref, window, state_digest)
+            in payload["records"].items()
+        }
+        return _ReplayNode(
+            index=payload["index"],
+            cursor=devices[payload["cursor"]],
+            stable=devices[payload["stable"]],
+            window=payload["window"],
+            records=records,
+            hasher=None,
+            replayed_writes=payload["replayed_writes"],
+            elapsed=payload["elapsed"],
+            analysis=None,
         )
 
 

@@ -326,6 +326,20 @@ class CrashTestResult:
     #: report (0 on a correct file system; >= 1 whenever a reference bug
     #: breaks a claimed mechanism contract)
     audit_demotions: int = 0
+    #: spine-spill telemetry (session, not canonical: how much spilled
+    #: depends on the budget and on which workloads shared a harness).
+    #: Bytes of frozen spine nodes resident in the harness's spill store
+    #: after this workload
+    spine_resident_bytes: int = 0
+    #: high-water mark of resident spine bytes over the harness's lifetime
+    #: (bounded by the configured budget)
+    spine_peak_resident_bytes: int = 0
+    #: bytes of spine nodes written to the spill directory for this workload
+    spine_spilled_bytes: int = 0
+    #: spine nodes spilled to disk while testing this workload
+    spine_spills: int = 0
+    #: spilled spine nodes read back from disk while testing this workload
+    spine_rehydrations: int = 0
 
     @property
     def passed(self) -> bool:
@@ -358,6 +372,8 @@ class CrashTestResult:
         "replay_shared", "replay_writes_reused", "replay_seconds_saved",
         "mechanism_checkpoints", "mechanism_fallback_checkpoints",
         "mechanism_demoted_checkpoints", "audit_demotions",
+        "spine_resident_bytes", "spine_peak_resident_bytes",
+        "spine_spilled_bytes", "spine_spills", "spine_rehydrations",
     )
 
     #: fields that describe *how this session happened to run*, not what was
@@ -373,6 +389,8 @@ class CrashTestResult:
         "prefix_shared", "prefix_ops_reused", "prefix_writes_reused",
         "prefix_seconds_saved",
         "replay_shared", "replay_writes_reused", "replay_seconds_saved",
+        "spine_resident_bytes", "spine_peak_resident_bytes",
+        "spine_spilled_bytes", "spine_spills", "spine_rehydrations",
     )
 
     def to_dict(self) -> dict:

@@ -80,6 +80,15 @@ class HarnessSpec:
     #: enables it exactly when the crash plan consumes the report (the
     #: ``mechanism`` plan), ``True`` forces it (overhead measurement)
     analyze_mechanisms: Optional[bool] = None
+    #: resident-byte budget shared by each worker harness's two trie spines;
+    #: frozen nodes beyond it spill to disk and rehydrate transparently.
+    #: ``None`` follows the spill store's default (generous; the
+    #: ``REPRO_SPINE_BUDGET`` environment variable can lower it)
+    spine_memory_budget: Optional[int] = None
+    #: directory spilled spine nodes are written to; every worker built from
+    #: this spec shares it (file names are pid-unique).  ``None`` gives each
+    #: worker a private temporary directory
+    spine_spill_dir: Optional[str] = None
     kernel_version: str = "4.16"
 
     def build(self) -> CrashMonkey:
@@ -102,5 +111,7 @@ class HarnessSpec:
             global_dedup_cache=self.global_dedup_cache,
             dedup_scope=self.dedup_scope,
             analyze_mechanisms=self.analyze_mechanisms,
+            spine_memory_budget=self.spine_memory_budget,
+            spine_spill_dir=self.spine_spill_dir,
             kernel_version=self.kernel_version,
         )

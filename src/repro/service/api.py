@@ -76,6 +76,8 @@ def config_to_dict(config: CampaignConfig) -> dict:
         "cross_workload_dedup": config.cross_workload_dedup,
         "global_dedup_cache": config.global_dedup_cache,
         "analyze_mechanisms": config.analyze_mechanisms,
+        "spine_memory_budget": config.spine_memory_budget,
+        "spine_spill_dir": config.spine_spill_dir,
         "processes": config.processes,
         "chunk_size": config.chunk_size,
     }
@@ -120,6 +122,8 @@ def config_from_dict(payload: dict) -> CampaignConfig:
         cross_workload_dedup=payload.get("cross_workload_dedup", False),
         global_dedup_cache=payload.get("global_dedup_cache"),
         analyze_mechanisms=payload.get("analyze_mechanisms"),
+        spine_memory_budget=payload.get("spine_memory_budget"),
+        spine_spill_dir=payload.get("spine_spill_dir"),
         processes=payload.get("processes", 1),
         chunk_size=payload.get("chunk_size"),
     )

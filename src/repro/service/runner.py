@@ -37,6 +37,7 @@ from __future__ import annotations
 import contextlib
 import hashlib
 import os
+import shutil
 import signal
 from dataclasses import replace
 from typing import Iterator, List, Optional, Tuple
@@ -228,6 +229,15 @@ class DurableCampaignRunner:
                 # times it was interrupted.
                 spec = replace(spec, global_dedup_cache=db.path,
                                dedup_scope=campaign_id)
+            if spec.spine_spill_dir is None and db.path != ":memory:":
+                # Spilled spine nodes live beside the state database so a
+                # resumed session reuses one well-known location.  The files
+                # are session-scoped scratch (every session refreezes its own
+                # spine), so stale ones from a crashed session are purged
+                # rather than trusted.
+                session_dir = os.path.join(f"{db.path}.spine", campaign_id)
+                shutil.rmtree(session_dir, ignore_errors=True)
+                spec = replace(spec, spine_spill_dir=session_dir)
             engine = self._chunk_engine(progress, spec)
 
             def pending_chunks():

@@ -11,7 +11,7 @@ crash plan.
 
 from __future__ import annotations
 
-from typing import Union
+from typing import Optional, Union
 
 BLOCK_SIZE = 4096
 
@@ -32,6 +32,20 @@ ZERO_BLOCK = bytes(BLOCK_SIZE)
 #: (see :mod:`.slab`).  Both compare, hash into digests, slice, and decode
 #: identically for every consumer in the stack.
 Payload = Union[bytes, memoryview]
+
+
+def materialize_payload(data) -> Optional[bytes]:
+    """Flatten a payload to an immutable ``bytes`` object.
+
+    The one sanctioned copy point for payloads leaving the zero-copy world:
+    slab-backed ``memoryview`` slots cannot be pickled (and must never escape
+    to disk holding a reference to their backing arena), so the spill layer
+    routes every payload through here before serializing.  ``bytes`` payloads
+    and ``None`` pass through untouched.
+    """
+    if isinstance(data, memoryview):
+        return data.tobytes()
+    return data
 
 
 def pad_block(data) -> Payload:

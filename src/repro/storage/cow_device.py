@@ -181,6 +181,34 @@ class CowDevice:
         merged.update(self._overlay)
         return merged
 
+    def overlay_delta(self) -> Dict[int, Payload]:
+        """Every block this snapshot changed relative to its base, merged.
+
+        Public accessor for the spill layer: the returned dict plus the base
+        image fully determine the snapshot's visible contents, so serializing
+        it (with payloads flattened via ``materialize_payload``) and replaying
+        it through :meth:`from_overlay` reconstructs a content-identical
+        device.
+        """
+        return self._merged_overlay()
+
+    @classmethod
+    def from_overlay(cls, base: BlockDevice, overlay: Dict[int, Payload],
+                     name: str = "cow0") -> "CowDevice":
+        """Rebuild a snapshot from a base image and a merged overlay delta.
+
+        The inverse of :meth:`overlay_delta`.  The overlay lands as a single
+        frozen chain layer, so the rehydrated device behaves exactly like a
+        fresh ``snapshot()`` of the original: an empty mutable top overlay,
+        fresh counters, and the same visible contents.
+        """
+        device = cls(base, name=name)
+        if overlay:
+            layer = dict(overlay)
+            device._chain = (layer,)
+            device._chain_index = dict(layer)
+        return device
+
     def materialize(self, name: Optional[str] = None) -> BlockDevice:
         """Flatten base + overlays into an independent :class:`BlockDevice`.
 

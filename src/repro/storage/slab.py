@@ -104,3 +104,14 @@ class BlockSlab:
     def allocated_bytes(self) -> int:
         """Total arena capacity in bytes (filled or not)."""
         return sum(len(chunk) for chunk in self._chunks)
+
+    def filled_bytes(self) -> int:
+        """Payload bytes actually stored (block-padded), excluding the
+        pre-zeroed unfilled tail of the current chunk.
+
+        This is the number memory accounting should use: ``allocated_bytes``
+        includes capacity the geometric growth reserved but nothing has
+        written yet, so using it as a payload proxy overstates resident
+        payload memory by up to one whole chunk.
+        """
+        return self.stored * BLOCK_SIZE

@@ -1,0 +1,269 @@
+"""Disk spill for frozen trie-spine nodes under a resident-memory budget.
+
+The prefix-shared recorder and the shared replay cache each pin one frozen
+node per operation / flush barrier: a ``CowDevice`` fork, pickled fs and
+tracker state, and a slice of the recorded log.  At seq-1 and seq-2 depths
+that is cheap; at seq-3 (and the planned drift workloads) the cached spines
+start competing with live crash states for RAM.
+
+A :class:`SpineStore` keeps the hot tail of both spines resident in an LRU
+bounded by a byte budget and spills cold nodes to a per-campaign directory.
+Spilled nodes rehydrate transparently on access and are parity-proven
+byte-for-byte identical to never-spilled nodes (the tier-1 suite replays the
+full seq-1 space of every simulated file system with a zero budget).
+
+Serialization discipline: nodes reference slab-backed ``memoryview``
+payloads, which can neither be pickled nor allowed to escape to disk holding
+a reference to their backing arena.  Codecs therefore flatten every payload
+through :func:`~.block.materialize_payload` (the one sanctioned copy point)
+before handing the store a picklable dict — this module itself never touches
+a slab chunk or a raw ``bytearray``, which ``tools/repro_lint.py`` enforces
+as a standing invariant.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import tempfile
+from collections import OrderedDict
+from typing import Any, Callable, Dict, List, Optional
+
+from .block import materialize_payload
+
+#: Default resident budget: generous enough that seq-1/seq-2 campaigns never
+#: spill (their whole spines fit comfortably), so behavior and performance
+#: are unchanged unless a budget is asked for.
+DEFAULT_SPINE_MEMORY_BUDGET = 256 * 1024 * 1024
+
+#: Environment override for the default budget (integer bytes).  Explicit
+#: constructor arguments always win; the variable only moves the default.
+SPINE_BUDGET_ENV = "REPRO_SPINE_BUDGET"
+
+
+def default_spine_memory_budget() -> int:
+    """Resident-byte budget to use when none is passed explicitly.
+
+    Reads ``REPRO_SPINE_BUDGET`` (integer bytes); blank or unparsable values
+    fall back to :data:`DEFAULT_SPINE_MEMORY_BUDGET`, negative values clamp
+    to 0 (spill everything).
+    """
+    raw = os.environ.get(SPINE_BUDGET_ENV, "").strip()
+    if not raw:
+        return DEFAULT_SPINE_MEMORY_BUDGET
+    try:
+        value = int(raw)
+    except ValueError:
+        return DEFAULT_SPINE_MEMORY_BUDGET
+    return max(0, value)
+
+
+def flatten_requests(requests) -> List[Any]:
+    """Copy a sequence of IORequests, flattening slab payloads to ``bytes``.
+
+    Requests whose payloads are already ``bytes`` (or ``None``) are reused
+    as-is — frozen dataclasses are immutable, so sharing them is safe.  The
+    flattened twins content-compare equal to the originals (``IORequest``
+    equality is content-based across representations), so replay, hashing,
+    and dedup are unaffected.
+    """
+    from dataclasses import replace
+
+    flattened = []
+    for request in requests:
+        if isinstance(request.data, memoryview):
+            request = replace(request, data=materialize_payload(request.data))
+        flattened.append(request)
+    return flattened
+
+
+def freeze_overlay(device) -> Dict[int, bytes]:
+    """A picklable merged overlay delta for a ``CowDevice`` snapshot."""
+    return {
+        block: materialize_payload(data)
+        for block, data in device.overlay_delta().items()
+    }
+
+
+class _Entry:
+    """One stored node: resident, spilled to ``path``, or both."""
+
+    __slots__ = ("kind", "nbytes", "node", "path")
+
+    def __init__(self, kind: str, nbytes: int, node: Any):
+        self.kind = kind
+        self.nbytes = nbytes
+        self.node: Optional[Any] = node
+        self.path: Optional[str] = None
+
+
+class SpineStore:
+    """Budgeted LRU of frozen spine nodes with transparent disk spill.
+
+    One store serves both spines of a harness (recorder prefixes and replay
+    trail slots) under distinct codec *kinds*; engine pool workers each build
+    their own harness and store but may share one spill directory — file
+    names carry the owning pid and a per-store counter, so they never
+    collide.
+
+    Nodes are immutable once stored, which buys two properties: a node
+    already on disk re-evicts by just dropping the resident reference (no
+    rewrite, ``spills`` counts real file writes only), and rehydration may
+    hand back a fresh object graph without coordination.
+    """
+
+    _instances = 0
+
+    def __init__(self, memory_budget: Optional[int] = None,
+                 spill_dir: Optional[str] = None, name: str = "spine"):
+        if memory_budget is None:
+            memory_budget = default_spine_memory_budget()
+        self.memory_budget = max(0, memory_budget)
+        self.name = name
+        self._explicit_dir = spill_dir
+        self._tmpdir: Optional[tempfile.TemporaryDirectory] = None
+        SpineStore._instances += 1
+        self._prefix = f"{os.getpid()}-{SpineStore._instances}-{name}"
+        self._codecs: Dict[str, Any] = {}
+        self._entries: "OrderedDict[int, _Entry]" = OrderedDict()
+        self._next_key = 0
+        #: bytes of node payload currently held resident
+        self.resident_bytes = 0
+        #: high-water mark of ``resident_bytes`` *after* budget enforcement,
+        #: so a respected budget implies ``peak_resident_bytes <= budget``
+        self.peak_resident_bytes = 0
+        #: count of nodes written to disk (re-evictions of an already-spilled
+        #: node do not rewrite and do not count)
+        self.spills = 0
+        #: total bytes of node payload written to disk
+        self.spilled_bytes = 0
+        #: count of nodes read back from disk
+        self.rehydrations = 0
+
+    # -- codecs --------------------------------------------------------------
+
+    def register_codec(self, kind: str,
+                       freeze: Callable[[Any], Any],
+                       thaw: Callable[[Any], Any]) -> None:
+        """Teach the store how to (de)serialize nodes of ``kind``.
+
+        ``freeze`` turns a node into a picklable payload (flattening slab
+        views); ``thaw`` rebuilds an equivalent node.  Re-registering a kind
+        replaces its codec — the owning spine re-binds fresh closures per
+        instance.
+        """
+        self._codecs[kind] = (freeze, thaw)
+
+    # -- storage -------------------------------------------------------------
+
+    def put(self, kind: str, node: Any, nbytes: int) -> int:
+        """Adopt a frozen node, returning its retrieval key.
+
+        The node stays resident (and most-recently-used) until the budget
+        pushes it out; freezing is lazy — nothing is serialized unless an
+        eviction actually happens.
+        """
+        if kind not in self._codecs:
+            raise KeyError(f"no codec registered for spine kind {kind!r}")
+        key = self._next_key
+        self._next_key += 1
+        self._entries[key] = _Entry(kind, max(0, nbytes), node)
+        self.resident_bytes += max(0, nbytes)
+        self._enforce_budget()
+        return key
+
+    def get(self, key: int) -> Any:
+        """Fetch a node, rehydrating from disk if it was spilled.
+
+        The node becomes most-recently-used.  The budget is re-enforced
+        after rehydration, which may evict colder entries — or, under a
+        zero/tiny budget, the entry just fetched; that is safe because the
+        caller holds the returned reference and entries are immutable.
+        """
+        entry = self._entries[key]
+        self._entries.move_to_end(key)
+        if entry.node is None:
+            node = self._rehydrate(entry)
+            entry.node = node
+            self.resident_bytes += entry.nbytes
+            # Re-enforcing may immediately evict the entry just fetched
+            # (zero/tiny budgets); the local reference keeps the returned
+            # node alive for the caller regardless.
+            self._enforce_budget()
+            return node
+        return entry.node
+
+    def drop(self, key: int) -> None:
+        """Forget a node entirely, releasing memory and any spill file."""
+        entry = self._entries.pop(key, None)
+        if entry is None:
+            return
+        if entry.node is not None:
+            self.resident_bytes -= entry.nbytes
+        if entry.path is not None:
+            try:
+                os.unlink(entry.path)
+            except OSError:
+                pass
+
+    def clear(self) -> None:
+        """Drop every stored node (telemetry counters are preserved)."""
+        for key in list(self._entries):
+            self.drop(key)
+
+    def close(self) -> None:
+        """Drop everything and release the store's temporary directory."""
+        self.clear()
+        if self._tmpdir is not None:
+            self._tmpdir.cleanup()
+            self._tmpdir = None
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    # -- spill mechanics -----------------------------------------------------
+
+    def _spill_root(self) -> str:
+        if self._explicit_dir is not None:
+            os.makedirs(self._explicit_dir, exist_ok=True)
+            return self._explicit_dir
+        if self._tmpdir is None:
+            self._tmpdir = tempfile.TemporaryDirectory(prefix="repro-spine-")
+        return self._tmpdir.name
+
+    def _enforce_budget(self) -> None:
+        """Evict least-recently-used entries until under budget.
+
+        Called after every put/get; the peak gauge is advanced *after*
+        eviction so a run that respects the budget reports a peak within it.
+        """
+        if self.resident_bytes > self.memory_budget:
+            for key, entry in list(self._entries.items()):
+                if self.resident_bytes <= self.memory_budget:
+                    break
+                if entry.node is None:
+                    continue
+                self._evict(key, entry)
+        if self.resident_bytes > self.peak_resident_bytes:
+            self.peak_resident_bytes = self.resident_bytes
+
+    def _evict(self, key: int, entry: _Entry) -> None:
+        if entry.path is None:
+            freeze, _ = self._codecs[entry.kind]
+            payload = freeze(entry.node)
+            blob = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+            path = os.path.join(self._spill_root(), f"{self._prefix}-{key}.node")
+            with open(path, "wb") as handle:
+                handle.write(blob)
+            entry.path = path
+            self.spills += 1
+            self.spilled_bytes += len(blob)
+        entry.node = None
+        self.resident_bytes -= entry.nbytes
+
+    def _rehydrate(self, entry: _Entry) -> Any:
+        with open(entry.path, "rb") as handle:
+            payload = pickle.load(handle)
+        _, thaw = self._codecs[entry.kind]
+        self.rehydrations += 1
+        return thaw(payload)

@@ -1,0 +1,465 @@
+"""Disk-spilled trie spines under a resident-memory budget.
+
+The guarantees this file pins, in the order the spill layer makes them:
+
+* **Store mechanics** — LRU order, budget enforcement (peak never exceeds
+  the budget), spill-file reuse on re-eviction, counter semantics, the
+  ``REPRO_SPINE_BUDGET`` default gate.
+* **Parity** — a zero budget (every node spilled and rehydrated on every
+  access) changes nothing observable: recorded profiles, crash-state
+  checkpoint records and full harness results are identical to the
+  never-spilled run, proven over the full seq-1 space of all four
+  simulated file systems.
+* **Isolation** — a rehydrated node shares no mutable state with other
+  rehydrations of the same slot (the aliasing regression), and a cleared
+  replay cache behaves exactly like a freshly built one (the stale-flags
+  regression).
+* **Durability** — a SIGKILLed spilling campaign resumes to canonically
+  identical results whether its spill directory survived the crash or was
+  deleted (spill files are session-scoped scratch, never durable state).
+* **The unblocked milestone** — a bounded seq-3 campaign under the
+  mechanism planner completes under a tight budget with the same findings
+  as an unbudgeted run.
+"""
+
+import os
+import signal
+import sys
+
+import pytest
+
+from repro.ace import AceSynthesizer, seq1_bounds, seq3_data_bounds
+from repro.crashmonkey import CrashMonkey, CrashStateGenerator, SharedReplayCache
+from repro.crashmonkey.recorder import WorkloadRecorder
+from repro.core.campaign import B3Campaign, CampaignConfig
+from repro.engine import HarnessSpec, run_campaign
+from repro.storage import BLOCK_SIZE, SpineStore, default_spine_memory_budget
+from repro.storage.spill import DEFAULT_SPINE_MEMORY_BUDGET, SPINE_BUDGET_ENV
+from repro.workload import parse_workload
+
+from conftest import SMALL_DEVICE_BLOCKS
+
+SIBLING_A = "creat foo\nwrite foo 0 8192\nfsync foo\ncreat bar\nfsync bar"
+SIBLING_B = "creat foo\nwrite foo 0 8192\nfsync foo\nlink foo baz\nfsync baz"
+
+
+# --------------------------------------------------------------------- store mechanics
+
+
+def _identity_store(memory_budget, spill_dir=None):
+    """A store whose nodes are plain dicts (picklable as-is)."""
+    store = SpineStore(memory_budget=memory_budget, spill_dir=spill_dir)
+    store.register_codec("plain", lambda node: node, lambda payload: payload)
+    return store
+
+
+class TestSpineStore:
+    def test_under_budget_nothing_spills(self):
+        store = _identity_store(memory_budget=1024)
+        keys = [store.put("plain", {"n": n}, 100) for n in range(5)]
+        assert store.spills == 0
+        assert store.resident_bytes == 500
+        for n, key in enumerate(keys):
+            assert store.get(key) == {"n": n}
+        assert store.rehydrations == 0
+
+    def test_eviction_is_lru_and_get_refreshes_recency(self):
+        store = _identity_store(memory_budget=250)
+        first = store.put("plain", {"n": 0}, 100)
+        second = store.put("plain", {"n": 1}, 100)
+        store.get(first)  # first is now most-recently-used
+        store.put("plain", {"n": 2}, 100)  # over budget: evicts second
+        assert store.spills == 1
+        # The resident survivors are exactly {first, third}; fetching the
+        # evicted node rehydrates from disk.
+        rehydrated_before = store.rehydrations
+        assert store.get(second) == {"n": 1}
+        assert store.rehydrations == rehydrated_before + 1
+
+    def test_peak_resident_bytes_respects_the_budget(self):
+        store = _identity_store(memory_budget=300)
+        for n in range(10):
+            store.put("plain", {"n": n}, 100)
+            store.get(store.put("plain", {"m": n}, 50))
+        assert store.peak_resident_bytes <= 300
+        assert store.resident_bytes <= 300
+
+    def test_zero_budget_spills_everything_and_get_still_returns(self):
+        store = _identity_store(memory_budget=0)
+        key = store.put("plain", {"payload": "x" * 64}, 1000)
+        assert store.resident_bytes == 0
+        assert store.spills == 1
+        # get() must hand back the node even though enforcement immediately
+        # re-evicts the entry it just rehydrated.
+        assert store.get(key) == {"payload": "x" * 64}
+        assert store.resident_bytes == 0
+
+    def test_reeviction_reuses_the_spill_file(self):
+        store = _identity_store(memory_budget=0)
+        key = store.put("plain", {"n": 1}, 100)
+        assert (store.spills, store.rehydrations) == (1, 0)
+        spilled_bytes = store.spilled_bytes
+        for round_trip in range(1, 4):
+            assert store.get(key) == {"n": 1}
+            assert store.rehydrations == round_trip
+        # Nodes are immutable: re-evicting an already-spilled node never
+        # rewrites the file, so the write-side counters are frozen.
+        assert store.spills == 1
+        assert store.spilled_bytes == spilled_bytes
+
+    def test_explicit_spill_dir_is_used_and_drop_removes_files(self, tmp_path):
+        spill_dir = str(tmp_path / "spines")
+        store = _identity_store(memory_budget=0, spill_dir=spill_dir)
+        key = store.put("plain", {"n": 1}, 10)
+        files = os.listdir(spill_dir)
+        assert len(files) == 1 and files[0].endswith(".node")
+        store.drop(key)
+        assert os.listdir(spill_dir) == []
+        assert len(store) == 0
+
+    def test_clear_drops_nodes_but_preserves_counters(self, tmp_path):
+        store = _identity_store(memory_budget=0, spill_dir=str(tmp_path))
+        for n in range(3):
+            store.put("plain", {"n": n}, 10)
+        assert store.spills == 3
+        store.clear()
+        assert len(store) == 0
+        assert store.resident_bytes == 0
+        assert store.spills == 3, "telemetry survives a clear"
+        assert [f for f in os.listdir(tmp_path)] == []
+
+    def test_unregistered_kind_is_rejected(self):
+        store = SpineStore(memory_budget=0)
+        with pytest.raises(KeyError, match="no codec"):
+            store.put("mystery", {"n": 1}, 10)
+
+    def test_two_stores_share_a_spill_dir_without_collisions(self, tmp_path):
+        spill_dir = str(tmp_path)
+        a = _identity_store(memory_budget=0, spill_dir=spill_dir)
+        b = _identity_store(memory_budget=0, spill_dir=spill_dir)
+        key_a = a.put("plain", {"who": "a"}, 10)
+        key_b = b.put("plain", {"who": "b"}, 10)
+        assert len(os.listdir(spill_dir)) == 2
+        assert a.get(key_a) == {"who": "a"}
+        assert b.get(key_b) == {"who": "b"}
+
+
+def test_default_budget_env_gate(monkeypatch):
+    monkeypatch.delenv(SPINE_BUDGET_ENV, raising=False)
+    assert default_spine_memory_budget() == DEFAULT_SPINE_MEMORY_BUDGET
+    for raw, expected in (("", DEFAULT_SPINE_MEMORY_BUDGET),
+                          ("garbage", DEFAULT_SPINE_MEMORY_BUDGET),
+                          ("65536", 65536),
+                          ("0", 0),
+                          ("-5", 0)):
+        monkeypatch.setenv(SPINE_BUDGET_ENV, raw)
+        assert default_spine_memory_budget() == expected, raw
+    # The store follows the gate when no budget is passed; explicit wins.
+    monkeypatch.setenv(SPINE_BUDGET_ENV, "4096")
+    assert SpineStore().memory_budget == 4096
+    assert SpineStore(memory_budget=128).memory_budget == 128
+
+
+# -------------------------------------------------------------------------- parity
+
+
+def _log_fields(log):
+    return [
+        (r.seq, r.kind, r.block, r.flags, r.tag, r.checkpoint_id,
+         None if r.data is None else bytes(r.data))
+        for r in log
+    ]
+
+
+@pytest.mark.parametrize("fs_name", ["logfs", "seqfs", "flashfs", "verifs"])
+def test_spilled_profiles_match_unspilled_on_full_seq1_space(fs_name):
+    """Prefix-shared recording through a zero budget is invisible."""
+    spilling = WorkloadRecorder(fs_name, None, device_blocks=SMALL_DEVICE_BLOCKS,
+                                share_prefixes=True,
+                                spine_store=SpineStore(memory_budget=0))
+    plain = WorkloadRecorder(fs_name, None, device_blocks=SMALL_DEVICE_BLOCKS,
+                             share_prefixes=False)
+    compared = 0
+    for workload in AceSynthesizer(seq1_bounds()).stream():
+        a = spilling.profile(workload)
+        b = plain.profile(workload)
+        context = f"{fs_name} {workload.display_name()}"
+        assert _log_fields(a.io_log) == _log_fields(b.io_log), context
+        assert a.oracles == b.oracles, context
+        assert a.tracker_views == b.tracker_views, context
+        assert a.num_checkpoints == b.num_checkpoints, context
+        compared += 1
+    assert compared > 0
+    assert spilling.spine_store.spills > 0, "the budget must actually bite"
+    assert spilling.spine_store.rehydrations > 0
+
+
+@pytest.mark.parametrize("fs_name", ["logfs", "seqfs", "flashfs", "verifs"])
+def test_spilled_harness_results_match_unspilled_on_seq1(fs_name):
+    spilling = CrashMonkey(fs_name, device_blocks=SMALL_DEVICE_BLOCKS,
+                           spine_memory_budget=0)
+    plain = CrashMonkey(fs_name, device_blocks=SMALL_DEVICE_BLOCKS)
+    spilled_any = False
+    for workload in AceSynthesizer(seq1_bounds()).stream(limit=40):
+        a = spilling.test_workload(workload)
+        b = plain.test_workload(workload)
+        assert a.canonical_dict() == b.canonical_dict(), workload.display_name()
+        spilled_any = spilled_any or a.spine_spills > 0
+    assert spilled_any
+    if default_spine_memory_budget() == DEFAULT_SPINE_MEMORY_BUDGET:
+        # Under the spill-heavy CI lane the env gate tightens the default
+        # budget, so the "plain" harness legitimately spills too; parity
+        # above is what matters there.
+        assert plain.spine_store.spills == 0, "the default budget must not spill seq-1"
+
+
+def test_spilled_campaign_matches_across_backends():
+    workloads = list(AceSynthesizer(seq1_bounds()).stream())
+    runs = {}
+    for budget in (None, 0):
+        for processes in (1, 2):
+            spec = HarnessSpec(fs_name="btrfs", device_blocks=SMALL_DEVICE_BLOCKS,
+                               spine_memory_budget=budget)
+            runs[(budget, processes)] = run_campaign(
+                spec, iter(workloads), processes=processes, chunk_size=32
+            ).result
+    reference = runs[(None, 1)].canonical_dict()
+    assert reference["derived"]["raw_reports"] > 0
+    for key, result in runs.items():
+        assert result.canonical_dict() == reference, f"budget,processes={key}"
+    assert runs[(0, 1)].spine_spills > 0
+    assert runs[(0, 1)].spine_peak_resident_bytes == 0
+
+
+# ------------------------------------------------------------------ cache regressions
+
+
+def test_clear_restores_the_freshly_constructed_state():
+    """Regression: ``clear()`` used to leave ``_hashed``/``_analyzed`` stale.
+
+    A cleared cache then refused (or worse, accepted) resumes based on the
+    digest mode of builds it no longer remembered.  Clearing must restore
+    every matching field a fresh cache starts with.
+    """
+    from repro.crashmonkey.crashplan import CrossWorkloadCache
+
+    recorder = WorkloadRecorder("logfs", None, device_blocks=SMALL_DEVICE_BLOCKS,
+                                share_prefixes=True)
+    cache = SharedReplayCache()
+    profile = recorder.profile(parse_workload(SIBLING_A, name="A"))
+    digesting = CrashStateGenerator(profile, replay_cache=cache,
+                                    cross_cache=CrossWorkloadCache())
+    digesting._ensure_built()
+    assert cache._trail and cache._hashed
+
+    cache.clear()
+    fresh = SharedReplayCache()
+    for attr in ("_trail", "_log", "_base", "_hashed", "_analyzed"):
+        assert getattr(cache, attr) == getattr(fresh, attr), attr
+    assert len(cache.spine_store) == 0
+    # And a non-digesting build now runs cold instead of matching stale state.
+    cold = CrashStateGenerator(profile, replay_cache=cache)
+    cold._ensure_built()
+    assert not cold.replay_shared
+
+
+def _device_identity_shape(node):
+    """Which positions of the node's device walk alias each other."""
+    order = list(SharedReplayCache._node_devices(node))
+    first_seen = {}
+    shape = []
+    for position, device in enumerate(order):
+        shape.append(first_seen.setdefault(id(device), position))
+    return shape
+
+
+def test_rehydrated_nodes_share_no_mutable_state():
+    """Regression: two fetches of a spilled slot must not alias dicts.
+
+    A rehydration that handed back cached mutable containers would let one
+    build's bookkeeping (records snapshot, window tuples) leak into a
+    sibling's resume.  Each fetch rebuilds a fresh object graph — while still
+    preserving the *intra-node* device identity topology the scenario dedup
+    key relies on.
+    """
+    recorder = WorkloadRecorder("logfs", None, device_blocks=SMALL_DEVICE_BLOCKS,
+                                share_prefixes=True)
+    cache = SharedReplayCache(spine_store=SpineStore(memory_budget=0))
+    profile = recorder.profile(parse_workload(SIBLING_A, name="A"))
+    CrashStateGenerator(profile, replay_cache=cache)._ensure_built()
+    assert cache.spine_store.spills > 0
+    slot = cache._trail[-1]
+
+    node1 = cache._fetch(slot)
+    node2 = cache._fetch(slot)
+    assert node1 is not node2
+    assert node1.records is not node2.records
+    assert node1.records.keys() == node2.records.keys()
+    assert node1.records, "need checkpoint records for the aliasing check"
+    for cid, record in node1.records.items():
+        other = node2.records[cid]
+        assert record is not other
+        assert record.baseline is not other.baseline
+        assert record.stable is not other.stable
+        assert (record.baseline._merged_overlay()
+                == other.baseline._merged_overlay())
+        assert record.stable._merged_overlay() == other.stable._merged_overlay()
+        assert record.state_digest == other.state_digest
+    # Mutating one rehydration is invisible to the other.
+    node1.records.clear()
+    assert node2.records
+    # Identity topology (which record forks alias which) is preserved.
+    assert _device_identity_shape(node2) == _device_identity_shape(
+        cache._fetch(slot))
+
+
+# ------------------------------------------------------------------ durable resume
+
+SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+
+
+def _spill_config() -> CampaignConfig:
+    return CampaignConfig(fs_name="btrfs", bounds=None, max_workloads=40,
+                          sample=True, chunk_size=4, spine_memory_budget=0)
+
+
+@pytest.fixture(scope="module")
+def uninterrupted_spilling():
+    import dataclasses
+
+    from repro.ace import seq2_bounds
+
+    config = dataclasses.replace(_spill_config(), bounds=seq2_bounds())
+    result = B3Campaign(config).run()
+    assert result.failing_workloads > 0
+    assert result.spine_spills > 0
+    return result
+
+
+def _run_spilling_victim(db_path: str, crash_after: int):
+    import subprocess
+
+    from repro.service.runner import SELFCRASH_ENV
+
+    env = dict(os.environ, PYTHONPATH=SRC)
+    env[SELFCRASH_ENV] = str(crash_after)
+    args = [
+        sys.executable, "-m", "repro.cli.main",
+        "campaign", "--durable", "--state-db", db_path,
+        "--campaign-id", "victim",
+        "--preset", "seq-2", "--limit", "40", "--sample", "--chunk-size", "4",
+        "--spine-memory-budget", "0",
+    ]
+    return subprocess.run(args, env=env, stdout=subprocess.DEVNULL,
+                          stderr=subprocess.DEVNULL, timeout=300)
+
+
+@pytest.mark.parametrize("keep_spill_dir", [True, False],
+                         ids=["spill-dir-preserved", "spill-dir-deleted"])
+def test_sigkilled_spilling_campaign_resumes_identically(tmp_path, keep_spill_dir,
+                                                         uninterrupted_spilling):
+    """Spill files are scratch: resume works with or without them on disk."""
+    import shutil
+
+    from repro.service import CampaignStateDB, DurableCampaignRunner
+
+    db_path = str(tmp_path / "state.sqlite")
+    victim = _run_spilling_victim(db_path, crash_after=3)
+    assert victim.returncode == -signal.SIGKILL
+
+    spine_root = f"{db_path}.spine"
+    assert os.path.isdir(os.path.join(spine_root, "victim")), (
+        "a zero-budget durable campaign must have spilled beside its state db"
+    )
+    if not keep_spill_dir:
+        shutil.rmtree(spine_root)
+
+    with CampaignStateDB(db_path) as db:
+        assert db.status("victim").chunks_done > 0
+        assert not db.status("victim").complete
+
+    runner = DurableCampaignRunner.from_db(db_path, "victim")
+    try:
+        resumed = runner.run()
+        session = runner.last_session
+    finally:
+        runner.close()
+    assert resumed is not None
+    assert session.chunks_skipped > 0
+    assert (resumed.canonical_dict()
+            == uninterrupted_spilling.canonical_dict())
+
+
+# ------------------------------------------------------------------ seq-3 milestone
+
+
+def test_bounded_seq3_mechanism_campaign_completes_under_budget():
+    """The unblocked milestone: seq-3 under the mechanism planner, spilling.
+
+    A bounded slice of the seq-3 data space runs to completion under a
+    budget a couple of orders of magnitude below the default, its resident
+    high-water mark honours the budget, and the findings match an
+    unbudgeted run exactly.
+    """
+    budget = 16 * BLOCK_SIZE
+
+    def run(spine_memory_budget):
+        config = CampaignConfig(
+            fs_name="flashfs", bounds=seq3_data_bounds(), max_workloads=12,
+            sample=True, crash_plan="mechanism",
+            device_blocks=SMALL_DEVICE_BLOCKS,
+            spine_memory_budget=spine_memory_budget,
+        )
+        return B3Campaign(config).run()
+
+    budgeted = run(budget)
+    unbudgeted = run(None)
+    assert budgeted.workloads_tested == 12
+    assert budgeted.spine_spills > 0
+    assert budgeted.spine_peak_resident_bytes <= budget
+    if default_spine_memory_budget() == DEFAULT_SPINE_MEMORY_BUDGET:
+        assert unbudgeted.spine_spills == 0
+    assert budgeted.canonical_dict() == unbudgeted.canonical_dict()
+
+
+# --------------------------------------------------------------------------- CLI
+
+
+class TestCliFlags:
+    def test_zero_budget_and_spill_dir_are_accepted(self, tmp_path):
+        from repro.cli.main import main
+
+        workload_file = tmp_path / "wl.wl"
+        workload_file.write_text(SIBLING_A + "\n")
+        spill_dir = tmp_path / "spines"
+        assert main(["test", str(workload_file), "--filesystem", "btrfs",
+                     "--patched", "--spine-memory-budget", "0",
+                     "--spine-spill-dir", str(spill_dir)]) == 0
+        assert list(spill_dir.iterdir()), "a zero budget must spill to the dir"
+
+    def test_campaign_accepts_a_budget(self):
+        from repro.cli.main import main
+
+        assert main(["campaign", "--filesystem", "btrfs", "--preset", "seq-1",
+                     "--limit", "10", "--patched",
+                     "--spine-memory-budget", "65536"]) == 0
+
+    def test_negative_budget_is_rejected(self, capsys):
+        from repro.cli.main import main
+
+        with pytest.raises(SystemExit):
+            main(["campaign", "--filesystem", "btrfs", "--preset", "seq-1",
+                  "--spine-memory-budget", "-1"])
+        assert "non-negative" in capsys.readouterr().err
+
+
+def test_config_round_trips_through_the_service_codec(tmp_path):
+    from repro.service.api import config_from_dict, config_to_dict
+
+    config = CampaignConfig(fs_name="btrfs", spine_memory_budget=4096,
+                            spine_spill_dir=str(tmp_path))
+    payload = config_to_dict(config)
+    assert payload["spine_memory_budget"] == 4096
+    restored = config_from_dict(payload)
+    assert restored.spine_memory_budget == 4096
+    assert restored.spine_spill_dir == str(tmp_path)

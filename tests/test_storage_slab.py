@@ -61,6 +61,10 @@ class TestBlockSlab:
         assert sizes == sorted(sizes), "chunks never shrink"
         assert slab.allocated_bytes() == sum(sizes) * BLOCK_SIZE
         assert slab.stored == 20
+        # filled_bytes counts payload actually stored (block-padded), not the
+        # pre-zeroed tail of the current chunk.
+        assert slab.filled_bytes() == 20 * BLOCK_SIZE
+        assert slab.filled_bytes() <= slab.allocated_bytes()
 
     def test_rejects_empty_chunk_geometry(self):
         with pytest.raises(ValueError):
@@ -71,6 +75,12 @@ class TestBlockSlab:
         slab.store(b"x")
         assert slab.chunks_allocated == 1
         assert slab.allocated_bytes() == MIN_CHUNK_BLOCKS * BLOCK_SIZE
+        assert slab.filled_bytes() == BLOCK_SIZE
+
+    def test_empty_slab_has_no_filled_bytes(self):
+        slab = BlockSlab()
+        assert slab.filled_bytes() == 0
+        assert slab.allocated_bytes() == 0
 
 
 def test_slabs_enabled_env_gate(monkeypatch):
